@@ -1,0 +1,63 @@
+// Command dpml-bench regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	dpml-bench -figure fig4            # one figure at full scale
+//	dpml-bench -figure all -quick      # the whole suite at test scale
+//	dpml-bench -list                   # available figure ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dpml/internal/bench"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "all", "figure id (see -list) or 'all'")
+		quick  = flag.Bool("quick", false, "shrink job sizes for a fast run")
+		iters  = flag.Int("iters", 0, "timed iterations per point (0 = default)")
+		warmup = flag.Int("warmup", 0, "warmup iterations per point (0 = default)")
+		list   = flag.Bool("list", false, "list figure ids and exit")
+		out    = flag.String("o", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.FigureIDs(), "\n"))
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	opt := bench.Options{Quick: *quick, Iters: *iters, Warmup: *warmup}
+	ids := []string{*figure}
+	if *figure == "all" {
+		ids = bench.FigureIDs()
+	}
+	for _, id := range ids {
+		tb, err := bench.Figure(id, opt)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		tb.Render(w)
+		fmt.Fprintln(w)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpml-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command dpml-osu is the osu_allreduce equivalent: it sweeps message
+// sizes and prints the average allreduce latency for a chosen design or
+// library on a chosen cluster.
+//
+// Usage:
+//
+//	dpml-osu -cluster B -nodes 16 -ppn 28 -design dpml -leaders 8
+//	dpml-osu -cluster D -nodes 32 -ppn 64 -lib proposed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dpml/internal/bench"
+	"dpml/internal/core"
+	"dpml/internal/mpi"
+	"dpml/internal/topology"
+)
+
+func main() {
+	var (
+		clusterName = flag.String("cluster", "B", "cluster: A, B, C, or D")
+		nodes       = flag.Int("nodes", 4, "number of nodes")
+		ppn         = flag.Int("ppn", 8, "processes per node")
+		design      = flag.String("design", "dpml", "design: flat, dpml, dpml-pipelined, sharp-node-leader, sharp-socket-leader")
+		leaders     = flag.Int("leaders", 1, "DPML leaders per node")
+		chunks      = flag.Int("chunks", 4, "pipeline depth for dpml-pipelined")
+		alg         = flag.String("alg", "", "flat algorithm / inter-leader override")
+		lib         = flag.String("lib", "", "library selector instead of -design: mvapich2, intelmpi, proposed")
+		sizesFlag   = flag.String("sizes", "4,64,1024,16384,262144,1048576", "comma-separated message sizes in bytes")
+		iters       = flag.Int("iters", 5, "timed iterations per size")
+		warmup      = flag.Int("warmup", 1, "warmup iterations per size")
+	)
+	flag.Parse()
+
+	cl := topology.ByName(*clusterName)
+	if cl == nil {
+		fatal(fmt.Errorf("unknown cluster %q", *clusterName))
+	}
+	var sizes []int
+	for _, s := range strings.Split(*sizesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad size %q", s))
+		}
+		sizes = append(sizes, n)
+	}
+
+	var choose bench.SpecChooser
+	label := ""
+	if *lib != "" {
+		choose = bench.LibrarySpec(core.Library(*lib))
+		label = *lib
+	} else {
+		spec := core.Spec{
+			Design:   core.Design(*design),
+			Leaders:  *leaders,
+			Chunks:   *chunks,
+			InterAlg: mpi.Algorithm(*alg),
+		}
+		if spec.Design == core.DesignFlat {
+			spec.FlatAlg = mpi.Algorithm(*alg)
+		}
+		choose = bench.FixedSpec(spec)
+		label = spec.String()
+	}
+
+	lat, err := bench.AllreduceLatency(cl, *nodes, *ppn, choose, sizes, *iters, *warmup)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# MPI_Allreduce latency, %s, %d nodes x %d ppn (%d procs), %s\n",
+		cl.Name, *nodes, *ppn, *nodes**ppn, label)
+	fmt.Printf("%12s %16s\n", "bytes", "latency(us)")
+	for i, n := range sizes {
+		fmt.Printf("%12d %16.2f\n", n, lat[i].Micros())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpml-osu:", err)
+	os.Exit(1)
+}

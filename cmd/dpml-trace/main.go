@@ -1,0 +1,117 @@
+// Command dpml-trace runs an allreduce workload with event tracing and
+// prints a profile: per-kind totals, the busiest ranks, and (optionally)
+// the raw event log as CSV.
+//
+// Usage:
+//
+//	dpml-trace -cluster B -nodes 4 -ppn 8 -design dpml -leaders 8 -bytes 524288
+//	dpml-trace -cluster A -lib proposed -bytes 256 -csv events.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpml/internal/bench"
+	"dpml/internal/core"
+	"dpml/internal/mpi"
+	"dpml/internal/topology"
+	"dpml/internal/trace"
+)
+
+func main() {
+	var (
+		clusterName = flag.String("cluster", "B", "cluster: A, B, C, or D")
+		nodes       = flag.Int("nodes", 4, "number of nodes")
+		ppn         = flag.Int("ppn", 8, "processes per node")
+		design      = flag.String("design", "dpml", "design (see dpml-osu)")
+		leaders     = flag.Int("leaders", 4, "DPML leaders per node")
+		chunks      = flag.Int("chunks", 4, "pipeline depth")
+		lib         = flag.String("lib", "", "library selector instead of -design")
+		bytes       = flag.Int("bytes", 64<<10, "message size")
+		iters       = flag.Int("iters", 2, "allreduce iterations")
+		csvPath     = flag.String("csv", "", "write the raw event log to this file")
+		limit       = flag.Int("limit", 1<<20, "max events kept")
+	)
+	flag.Parse()
+
+	cl := topology.ByName(*clusterName)
+	if cl == nil {
+		fatal(fmt.Errorf("unknown cluster %q", *clusterName))
+	}
+	job, err := topology.NewJob(cl, *nodes, *ppn)
+	if err != nil {
+		fatal(err)
+	}
+	rec := trace.New(*limit)
+	w := mpi.NewWorld(job, mpi.Config{Trace: rec})
+	e := core.NewEngine(w)
+
+	var choose bench.SpecChooser
+	if *lib != "" {
+		choose = bench.LibrarySpec(core.Library(*lib))
+	} else {
+		choose = bench.FixedSpec(core.Spec{
+			Design:  core.Design(*design),
+			Leaders: *leaders,
+			Chunks:  *chunks,
+		})
+	}
+	count := *bytes / 4
+	if count < 1 {
+		count = 1
+	}
+	spec := choose(e, count*4)
+	err = w.Run(func(r *mpi.Rank) error {
+		v := mpi.NewPhantom(mpi.Float32, count)
+		for i := 0; i < *iters; i++ {
+			if err := e.Allreduce(r, spec, mpi.Sum, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload: %d x allreduce(%d bytes) with %s on %s, %d nodes x %d ppn\n",
+		*iters, count*4, spec, cl.Name, *nodes, *ppn)
+	fmt.Printf("virtual time: %v\n", w.Kernel.Now())
+	rec.Summary(os.Stdout)
+	// Fabric utilization over the run.
+	elapsed := w.Kernel.Now().Sub(0)
+	var busiest string
+	var peak float64
+	for _, lr := range w.Net.Report() {
+		if u := float64(lr.Bytes) / (lr.Capacity * elapsed.Seconds()); u > peak {
+			peak, busiest = u, lr.Name
+		}
+	}
+	if busiest != "" {
+		fmt.Printf("busiest NIC link: %s at %.1f%% of capacity over the run\n", busiest, 100*peak)
+	}
+	for node, m := range w.Mem {
+		lr := m.Report()
+		if node == 0 {
+			fmt.Printf("node 0 memory system: %d bytes moved, busy %v\n", lr.Bytes, lr.Busy)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d events to %s\n", rec.Len(), *csvPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpml-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+package dpml_test
+
+import (
+	"fmt"
+	"log"
+
+	"dpml"
+)
+
+// Example runs one verified DPML allreduce on a simulated cluster.
+func Example() {
+	eng, err := dpml.NewSystem(dpml.ClusterB(), 2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = eng.W.Run(func(r *dpml.Rank) error {
+		v := dpml.NewVector(dpml.Float64, 4)
+		v.Fill(float64(r.Rank() + 1))
+		if err := eng.Allreduce(r, dpml.DPML(4), dpml.Sum, v); err != nil {
+			return err
+		}
+		if r.Rank() == 0 {
+			fmt.Printf("sum over 8 ranks: %v\n", v.At(0))
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: sum over 8 ranks: 36
+}
+
+// ExampleEngine_AllreduceProfiled breaks one DPML allreduce into the
+// paper's four phases.
+func ExampleEngine_AllreduceProfiled() {
+	eng, err := dpml.NewSystem(dpml.ClusterB(), 4, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = eng.W.Run(func(r *dpml.Rank) error {
+		v := dpml.NewPhantom(dpml.Float32, 1<<17)
+		pt, err := eng.AllreduceProfiled(r, dpml.DPML(8), dpml.Sum, v)
+		if err != nil {
+			return err
+		}
+		if r.Rank() == 0 {
+			fmt.Printf("phases ordered: %v\n",
+				pt.Copy > 0 && pt.Reduce > 0 && pt.Inter > 0 && pt.Bcast > 0)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: phases ordered: true
+}
+
+// ExampleCostParams evaluates the paper's Eq. 7 for a job shape.
+func ExampleCostParams() {
+	p := dpml.CostModelFor(dpml.ClusterB()).With(448, 16, 16, 512<<10)
+	fmt.Printf("16 leaders beat flat RD: %v\n", p.DPML() < p.RecursiveDoubling())
+	// Output: 16 leaders beat flat RD: true
+}

@@ -1,0 +1,28 @@
+// Tuning: empirically sweep DPML configurations per message size — the
+// process Section 6.4 describes ("we performed empirical evaluation of
+// different configurations on the four clusters and chose the best
+// configuration for each message size") — and print the winner map next
+// to the static tuned table and the cost model's prediction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dpml"
+)
+
+func main() {
+	cluster := dpml.ClusterC()
+	const nodes, ppn = 8, 16
+	res, err := dpml.TuneDPML(cluster, nodes, ppn,
+		[]int{1, 2, 4, 8, 16},
+		[]int{64, 1 << 10, 8 << 10, 64 << 10, 512 << 10},
+		3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Table.Render(os.Stdout)
+	fmt.Println("\nwinner: measured optimum; table: the shipped tuning table; model: Eq. 7's argmin")
+}

@@ -1,0 +1,3 @@
+module dpml
+
+go 1.22

@@ -1,0 +1,113 @@
+package hpcg
+
+import (
+	"testing"
+
+	"dpml/internal/core"
+	"dpml/internal/mpi"
+	"dpml/internal/topology"
+)
+
+func engineOn(t *testing.T, cl *topology.Cluster, nodes, ppn int) *core.Engine {
+	t.Helper()
+	job, err := topology.NewJob(cl, nodes, ppn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewEngine(mpi.NewWorld(job, mpi.Config{}))
+}
+
+func TestCGConverges(t *testing.T) {
+	e := engineOn(t, topology.ClusterA(), 2, 2)
+	res, err := Run(e, Config{
+		Nx: 8, Ny: 8, Nz: 4, Iterations: 30, Real: true,
+		Spec: core.HostBased(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResidualDrop < 100 {
+		t.Fatalf("CG barely converged: residual drop %.2f", res.ResidualDrop)
+	}
+	if res.DDOTTime <= 0 || res.TotalTime <= res.DDOTTime {
+		t.Fatalf("timing inconsistent: ddot %v, total %v", res.DDOTTime, res.TotalTime)
+	}
+}
+
+func TestCGConvergesUnderEveryDesign(t *testing.T) {
+	specs := []core.Spec{
+		core.HostBased(),
+		core.DPML(2),
+		{Design: core.DesignSharpNode},
+		{Design: core.DesignSharpSocket},
+		core.Flat(mpi.AlgRecursiveDoubling),
+	}
+	var drops []float64
+	for _, s := range specs {
+		e := engineOn(t, topology.ClusterA(), 2, 4)
+		res, err := Run(e, Config{Nx: 6, Ny: 6, Nz: 3, Iterations: 25, Real: true, Spec: s})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.ResidualDrop < 50 {
+			t.Fatalf("%v: residual drop %.2f", s, res.ResidualDrop)
+		}
+		drops = append(drops, res.ResidualDrop)
+	}
+	// All designs compute the same reduction: convergence identical.
+	for i := 1; i < len(drops); i++ {
+		if diff := drops[i]/drops[0] - 1; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("designs disagree on numerics: %v", drops)
+		}
+	}
+}
+
+func TestPhantomModeMatchesTimingShape(t *testing.T) {
+	// Phantom and real runs must take identical virtual time (data
+	// content cannot influence the schedule of a fixed iteration count).
+	timing := func(real bool) Result {
+		e := engineOn(t, topology.ClusterA(), 2, 2)
+		res, err := Run(e, Config{Nx: 8, Ny: 8, Nz: 4, Iterations: 10, Real: real, Spec: core.HostBased()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r, p := timing(true), timing(false)
+	if r.DDOTTime != p.DDOTTime || r.TotalTime != p.TotalTime {
+		t.Fatalf("real (%v/%v) vs phantom (%v/%v) timing mismatch",
+			r.DDOTTime, r.TotalTime, p.DDOTTime, p.TotalTime)
+	}
+}
+
+func TestSharpImprovesDDOT(t *testing.T) {
+	// Figure 11a: SHArP designs beat the host-based scheme on DDOT time
+	// (8-byte allreduces).
+	run := func(s core.Spec) Result {
+		e := engineOn(t, topology.ClusterA(), 4, 7)
+		res, err := Run(e, Config{Nx: 4, Ny: 4, Nz: 2, Iterations: 15, Spec: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	host := run(core.HostBased())
+	sharp := run(core.Spec{Design: core.DesignSharpSocket})
+	if sharp.DDOTTime >= host.DDOTTime {
+		t.Fatalf("SHArP DDOT (%v) not faster than host-based (%v)", sharp.DDOTTime, host.DDOTTime)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := engineOn(t, topology.ClusterA(), 1, 1)
+	bad := []Config{
+		{Nx: 0, Ny: 1, Nz: 1, Iterations: 1, Spec: core.HostBased()},
+		{Nx: 1, Ny: 1, Nz: 1, Iterations: 0, Spec: core.HostBased()},
+		{Nx: 1, Ny: 1, Nz: 1, Iterations: 1, Spec: core.DPML(99)},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(e, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"dpml/internal/core"
+	"dpml/internal/topology"
+)
+
+func TestAllreduceLatencyBasics(t *testing.T) {
+	sizes := []int{4, 4096}
+	lat, err := AllreduceLatency(topology.ClusterB(), 2, 2, FixedSpec(core.DPML(1)), sizes, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lat) != 2 || lat[0] <= 0 || lat[1] <= lat[0] {
+		t.Fatalf("latencies %v: want positive and increasing with size", lat)
+	}
+	if _, err := AllreduceLatency(topology.ClusterB(), 2, 2, FixedSpec(core.DPML(1)), sizes, 0, 0); err == nil {
+		t.Fatal("iters=0 accepted")
+	}
+}
+
+func TestLatencyDeterministic(t *testing.T) {
+	run := func() []float64 {
+		s, err := LatencySeries("x", topology.ClusterC(), 2, 4, LibrarySpec(core.LibProposed),
+			[]int{64, 64 << 10}, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []float64{s.Points[0].Y, s.Points[1].Y}
+	}
+	a, b := run(), run()
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("nondeterministic latency: %v vs %v", a, b)
+	}
+}
+
+func TestMultiPairThroughputScalesWithPairsSmall(t *testing.T) {
+	// Zone A property on Omni-Path: small-message aggregate throughput
+	// grows nearly linearly with pairs.
+	sizes := []int{64}
+	one, err := MultiPairThroughput(topology.ClusterC(), MBWConfig{Pairs: 1, Window: 16, Iters: 2}, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := MultiPairThroughput(topology.ClusterC(), MBWConfig{Pairs: 4, Window: 16, Iters: 2}, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := four[0] / one[0]
+	if rel < 3 {
+		t.Fatalf("4-pair relative throughput %.2f at 64B, want ~4", rel)
+	}
+}
+
+func TestMultiPairThroughputFlatOnOmniPathLarge(t *testing.T) {
+	sizes := []int{1 << 20}
+	one, err := MultiPairThroughput(topology.ClusterC(), MBWConfig{Pairs: 1, Window: 8, Iters: 2}, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := MultiPairThroughput(topology.ClusterC(), MBWConfig{Pairs: 8, Window: 8, Iters: 2}, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := eight[0] / one[0]
+	if rel > 2 {
+		t.Fatalf("8-pair relative throughput %.2f at 1MB on Omni-Path, want ~1 (Zone C)", rel)
+	}
+}
+
+func TestMultiPairThroughputScalesOnIBLarge(t *testing.T) {
+	sizes := []int{1 << 20}
+	one, err := MultiPairThroughput(topology.ClusterB(), MBWConfig{Pairs: 1, Window: 8, Iters: 2}, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := MultiPairThroughput(topology.ClusterB(), MBWConfig{Pairs: 8, Window: 8, Iters: 2}, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := eight[0] / one[0]
+	if rel < 5 {
+		t.Fatalf("8-pair relative throughput %.2f at 1MB on IB, want near 8 (Fig 1b)", rel)
+	}
+}
+
+func TestIntraNodeThroughputScales(t *testing.T) {
+	sizes := []int{64 << 10}
+	one, err := MultiPairThroughput(topology.ClusterC(), MBWConfig{Pairs: 1, Intra: true, Window: 8, Iters: 2}, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := MultiPairThroughput(topology.ClusterC(), MBWConfig{Pairs: 8, Intra: true, Window: 8, Iters: 2}, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := eight[0] / one[0]
+	if rel < 5 {
+		t.Fatalf("8-pair intra-node relative throughput %.2f, want near 8 (Fig 1a)", rel)
+	}
+}
+
+func TestMBWConfigValidation(t *testing.T) {
+	for _, cfg := range []MBWConfig{{Pairs: 0, Window: 1, Iters: 1}, {Pairs: 1, Window: 0, Iters: 1}, {Pairs: 1, Window: 1, Iters: 0}} {
+		if _, err := MultiPairThroughput(topology.ClusterB(), cfg, []int{4}); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestTableRenderAndHelpers(t *testing.T) {
+	tab := &Table{
+		ID: "t", Title: "demo", XLabel: "bytes", YLabel: "us",
+		Series: []Series{
+			{Label: "slow", Points: []Point{{4, 10}, {1 << 10, 100}}},
+			{Label: "fast", Points: []Point{{4, 8}, {1 << 10, 25}}},
+		},
+	}
+	if got := tab.XValues(); len(got) != 2 || got[0] != 4 || got[1] != 1024 {
+		t.Fatalf("XValues = %v", got)
+	}
+	if tab.Find("fast") == nil || tab.Find("nope") != nil {
+		t.Fatal("Find broken")
+	}
+	if r := tab.AddSpeedupNote("fast", "slow"); r != 4 {
+		t.Fatalf("peak speedup %v, want 4 (100/25 at 1K)", r)
+	}
+	out := tab.String()
+	for _, want := range []string{"demo", "slow", "fast", "1K", "4.00x", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if y, ok := tab.Series[0].Y(4); !ok || y != 10 {
+		t.Fatal("Series.Y broken")
+	}
+	if _, ok := tab.Series[0].Y(99); ok {
+		t.Fatal("Series.Y invented a point")
+	}
+}
+
+func TestFigureUnknownID(t *testing.T) {
+	if _, err := Figure("fig99", Options{Quick: true}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+// TestEveryFigureRunsQuick is the integration test of the whole harness:
+// every figure driver must produce a non-empty table at quick scale.
+func TestEveryFigureRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep skipped in -short mode")
+	}
+	for _, id := range FigureIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Figure(id, Options{Quick: true, Iters: 2, Warmup: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Series) == 0 {
+				t.Fatal("no series")
+			}
+			for _, s := range tab.Series {
+				if len(s.Points) == 0 {
+					t.Fatalf("series %q empty", s.Label)
+				}
+				for _, p := range s.Points {
+					if p.Y < 0 {
+						t.Fatalf("series %q has negative value at %d", s.Label, p.X)
+					}
+				}
+			}
+			if tab.String() == "" {
+				t.Fatal("render empty")
+			}
+		})
+	}
+}
+
+func TestLeaderSweepShapeQuick(t *testing.T) {
+	// The harness-level check of the paper's core result at quick scale:
+	// 8 leaders beat 1 leader at the largest size.
+	tab, err := leaderSweep("fig5q", topology.ClusterB(), 8, 8, Options{Quick: true, Iters: 2, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, eight := tab.Find("1-leader"), tab.Find("8-leader")
+	if one == nil || eight == nil {
+		t.Fatalf("missing series in %v", tab.Series)
+	}
+	big := tab.XValues()[len(tab.XValues())-1]
+	y1, _ := one.Y(big)
+	y8, _ := eight.Y(big)
+	if y8 >= y1 {
+		t.Fatalf("8-leader (%v us) not faster than 1-leader (%v us) at %d bytes", y8, y1, big)
+	}
+}
+
+func TestTuneDPML(t *testing.T) {
+	res, err := TuneDPML(topology.ClusterB(), 4, 8, []int{1, 4, 8, 16}, []int{64, 256 << 10}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Series) != 3 { // l=16 > ppn is skipped
+		t.Fatalf("series = %d, want 3", len(res.Table.Series))
+	}
+	if res.Best[64] > 4 {
+		t.Fatalf("measured best at 64B = %d leaders, want few", res.Best[64])
+	}
+	if res.Best[256<<10] < 4 {
+		t.Fatalf("measured best at 256KB = %d leaders, want many", res.Best[256<<10])
+	}
+	if res.Shipped[64] != 1 || res.Predicted[256<<10] < 4 {
+		t.Fatalf("table/model lookups wrong: %+v %+v", res.Shipped, res.Predicted)
+	}
+	if len(res.Table.Notes) != 2 {
+		t.Fatalf("notes = %v", res.Table.Notes)
+	}
+}
+
+func TestTuneDPMLValidation(t *testing.T) {
+	if _, err := TuneDPML(topology.ClusterB(), 2, 2, nil, []int{4}, 1, 0); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+	if _, err := TuneDPML(topology.ClusterB(), 2, 2, []int{1}, nil, 1, 0); err == nil {
+		t.Fatal("empty sizes accepted")
+	}
+}

@@ -1,0 +1,383 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"dpml/internal/apps/hpcg"
+	"dpml/internal/apps/miniamr"
+	"dpml/internal/core"
+	"dpml/internal/costmodel"
+	"dpml/internal/mpi"
+	"dpml/internal/topology"
+)
+
+// Options scales a figure run. Quick shrinks job sizes and sweeps so the
+// whole suite runs in seconds (used by tests and `go test -bench`); the
+// full setting reproduces the paper's published job shapes.
+type Options struct {
+	Quick  bool
+	Iters  int // timed iterations per point (default 3 quick / 5 full)
+	Warmup int // untimed iterations per point (default 1)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iters <= 0 {
+		if o.Quick {
+			o.Iters = 3
+		} else {
+			o.Iters = 5
+		}
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 1
+	}
+	return o
+}
+
+// FigureIDs lists every reproducible figure in paper order.
+func FigureIDs() []string {
+	return []string{
+		"fig1a", "fig1b", "fig1c", "fig1d",
+		"fig4", "fig5", "fig6", "fig7",
+		"fig8a", "fig8b", "fig8c",
+		"fig9a", "fig9b", "fig9c", "fig9d",
+		"fig10",
+		"fig11a", "fig11b", "fig11c",
+		"model", "phases", "pipeline", "noise", "eager",
+	}
+}
+
+// Figure regenerates one of the paper's figures and returns its table.
+func Figure(id string, opt Options) (*Table, error) {
+	opt = opt.withDefaults()
+	switch id {
+	case "fig1a":
+		return figure1(id, "Relative throughput, intra-node (Xeon)", topology.ClusterC(), true, opt)
+	case "fig1b":
+		return figure1(id, "Relative throughput, inter-node Xeon+InfiniBand", topology.ClusterB(), false, opt)
+	case "fig1c":
+		return figure1(id, "Relative throughput, inter-node Xeon+Omni-Path", topology.ClusterC(), false, opt)
+	case "fig1d":
+		return figure1(id, "Relative throughput, inter-node KNL+Omni-Path", topology.ClusterD(), false, opt)
+	case "fig4":
+		return leaderSweep(id, topology.ClusterA(), 16, 28, opt)
+	case "fig5":
+		return leaderSweep(id, topology.ClusterB(), 64, 28, opt)
+	case "fig6":
+		return leaderSweep(id, topology.ClusterC(), 64, 28, opt)
+	case "fig7":
+		return leaderSweep(id, topology.ClusterD(), 32, 32, opt)
+	case "fig8a":
+		return sharpComparison(id, 1, opt)
+	case "fig8b":
+		return sharpComparison(id, 4, opt)
+	case "fig8c":
+		return sharpComparison(id, 28, opt)
+	case "fig9a":
+		return libraryComparison(id, topology.ClusterA(), 16, 28, false, opt)
+	case "fig9b":
+		return libraryComparison(id, topology.ClusterB(), 64, 28, false, opt)
+	case "fig9c":
+		return libraryComparison(id, topology.ClusterC(), 64, 28, true, opt)
+	case "fig9d":
+		return libraryComparison(id, topology.ClusterD(), 32, 32, true, opt)
+	case "fig10":
+		return libraryComparison(id, topology.ClusterD(), 160, 64, true, opt)
+	case "fig11a":
+		return hpcgFigure(id, opt)
+	case "fig11b":
+		return miniamrFigure(id, topology.ClusterC(), opt)
+	case "fig11c":
+		return miniamrFigure(id, topology.ClusterD(), opt)
+	case "model":
+		return modelComparison(id, opt)
+	case "phases":
+		return phaseBreakdown(id, opt)
+	case "pipeline":
+		return pipelineAblation(id, opt)
+	case "noise":
+		return noiseSensitivity(id, opt)
+	case "eager":
+		return eagerAblation(id, opt)
+	}
+	return nil, fmt.Errorf("bench: unknown figure %q (known: %v)", id, FigureIDs())
+}
+
+// figure1 reproduces one panel of Figure 1: relative throughput of
+// 2/4/8/16 communicating pairs vs one pair.
+func figure1(id, title string, cl *topology.Cluster, intra bool, opt Options) (*Table, error) {
+	pairs := []int{2, 4, 8, 16}
+	sizes := sweepSizes(opt.Quick)
+	window, iters := 64, 2
+	if opt.Quick {
+		window = 16
+	}
+	if intra && cl.CoresPerNode() < 32 {
+		pairs = []int{2, 4, 8} // 16 intra-node pairs need 32 cores
+	}
+	t, err := RelativeThroughput(id, title, cl, intra, pairs, sizes, window, iters)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper Fig 1: shm and IB scale with pairs at all sizes; Omni-Path scales only in Zone A (small)")
+	return t, nil
+}
+
+// quickShrink reduces a job to test scale.
+func quickShrink(quick bool, nodes, ppn int) (int, int) {
+	if !quick {
+		return nodes, ppn
+	}
+	if nodes > 8 {
+		nodes = 8
+	}
+	if ppn > 8 {
+		ppn = 8
+	}
+	return nodes, ppn
+}
+
+// leaderSweep reproduces Figures 4-7: allreduce latency per message size
+// for 1, 2, 4, 8, 16 leaders per node.
+func leaderSweep(id string, cl *topology.Cluster, nodes, ppn int, opt Options) (*Table, error) {
+	nodes, ppn = quickShrink(opt.Quick, nodes, ppn)
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Impact of number of leaders, %s, %d nodes x %d ppn (%d procs)", cl.Name, nodes, ppn, nodes*ppn),
+		XLabel: "bytes",
+		YLabel: "latency (us)",
+	}
+	sizes := sweepSizes(opt.Quick)
+	for _, l := range []int{1, 2, 4, 8, 16} {
+		if l > ppn {
+			continue
+		}
+		s, err := LatencySeries(fmt.Sprintf("%d-leader", l), cl, nodes, ppn,
+			FixedSpec(core.DPML(l)), sizes, opt.Iters, opt.Warmup)
+		if err != nil {
+			return nil, err
+		}
+		t.Series = append(t.Series, s)
+	}
+	if len(t.Series) > 1 {
+		last := t.Series[len(t.Series)-1].Label
+		t.AddSpeedupNote(last, "1-leader")
+		t.Notes = append(t.Notes, "paper: 4.9x (cluster B) / 4.3x (cluster C) at 512KB with 16 vs 1 leaders")
+	}
+	return t, nil
+}
+
+// sharpComparison reproduces one panel of Figure 8: host-based vs SHArP
+// node-leader vs socket-leader on 16 nodes of cluster A.
+func sharpComparison(id string, ppn int, opt Options) (*Table, error) {
+	cl := topology.ClusterA()
+	nodes := 16
+	if opt.Quick {
+		nodes = 8
+		if ppn > 8 {
+			ppn = 8
+		}
+	}
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("SHArP designs, %s, %d nodes x %d ppn", cl.Name, nodes, ppn),
+		XLabel: "bytes",
+		YLabel: "latency (us)",
+	}
+	sizes := smallSizes(opt.Quick)
+	cases := []struct {
+		label string
+		spec  core.Spec
+	}{
+		{"host-based", core.HostBased()},
+		{"node-leader", core.Spec{Design: core.DesignSharpNode}},
+		{"socket-leader", core.Spec{Design: core.DesignSharpSocket}},
+	}
+	for _, cse := range cases {
+		s, err := LatencySeries(cse.label, cl, nodes, ppn, FixedSpec(cse.spec), sizes, opt.Iters, opt.Warmup)
+		if err != nil {
+			return nil, err
+		}
+		t.Series = append(t.Series, s)
+	}
+	t.AddSpeedupNote("node-leader", "host-based")
+	t.AddSpeedupNote("socket-leader", "host-based")
+	t.Notes = append(t.Notes, "paper: SHArP up to 2.5x at ppn=1; +80%/+100% (node/socket) at ppn=4; +46%/+73% at ppn=28; host wins by 4KB")
+	return t, nil
+}
+
+// libraryComparison reproduces Figures 9 and 10: the proposed design's
+// best configuration against the MVAPICH2 and Intel MPI baselines.
+func libraryComparison(id string, cl *topology.Cluster, nodes, ppn int, withIntel bool, opt Options) (*Table, error) {
+	nodes, ppn = quickShrink(opt.Quick, nodes, ppn)
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("MPI_Allreduce vs state-of-the-art, %s, %d nodes x %d ppn (%d procs)", cl.Name, nodes, ppn, nodes*ppn),
+		XLabel: "bytes",
+		YLabel: "latency (us)",
+	}
+	libs := []core.Library{core.LibMVAPICH2}
+	if withIntel {
+		libs = append(libs, core.LibIntelMPI)
+	}
+	libs = append(libs, core.LibProposed)
+	sizes := sweepSizes(opt.Quick)
+	for _, lib := range libs {
+		s, err := LatencySeries(string(lib), cl, nodes, ppn, LibrarySpec(lib), sizes, opt.Iters, opt.Warmup)
+		if err != nil {
+			return nil, err
+		}
+		t.Series = append(t.Series, s)
+	}
+	t.AddSpeedupNote("proposed", "mvapich2")
+	if withIntel {
+		t.AddSpeedupNote("proposed", "intelmpi")
+	}
+	t.Notes = append(t.Notes, "paper Fig 9: proposed up to 3.59x (A) / 3.08x (B) vs MVAPICH2; 2.98x/2.3x vs Intel MPI, 1.4x/3.31x vs MVAPICH2 (C/D); Fig 10: +207% vs MVAPICH2, +48% vs Intel MPI at 10,240 procs")
+	return t, nil
+}
+
+// hpcgFigure reproduces Figure 11a: HPCG DDOT time under the SHArP
+// designs at 56/224/448 processes (28 ppn on cluster A).
+func hpcgFigure(id string, opt Options) (*Table, error) {
+	cl := topology.ClusterA()
+	shapes := []struct{ nodes, ppn int }{{2, 28}, {8, 28}, {16, 28}}
+	iters := 30
+	if opt.Quick {
+		shapes = []struct{ nodes, ppn int }{{2, 8}, {4, 8}}
+		iters = 10
+	}
+	t := &Table{
+		ID:     id,
+		Title:  "HPCG DDOT time with SHArP designs, " + cl.Name,
+		XLabel: "processes",
+		YLabel: "DDOT time (us)",
+	}
+	cases := []struct {
+		label string
+		spec  core.Spec
+	}{
+		{"host-based", core.HostBased()},
+		{"node-leader", core.Spec{Design: core.DesignSharpNode}},
+		{"socket-leader", core.Spec{Design: core.DesignSharpSocket}},
+	}
+	for _, cse := range cases {
+		s := Series{Label: cse.label}
+		for _, shape := range shapes {
+			job, err := topology.NewJob(cl, shape.nodes, shape.ppn)
+			if err != nil {
+				return nil, err
+			}
+			e := core.NewEngine(mpi.NewWorld(job, mpi.Config{}))
+			res, err := hpcg.Run(e, hpcg.Config{
+				Nx: 16, Ny: 16, Nz: 8, Iterations: iters, Spec: cse.spec,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d procs: %w", cse.label, job.NumProcs(), err)
+			}
+			s.Points = append(s.Points, Point{X: job.NumProcs(), Y: res.DDOTTime.Micros()})
+		}
+		t.Series = append(t.Series, s)
+	}
+	t.Notes = append(t.Notes, "paper: up to 35% lower DDOT time at 56 procs, ~10% at 224; gain shrinks as local work grows (weak scaling)")
+	return t, nil
+}
+
+// miniamrFigure reproduces Figure 11b/11c: miniAMR refinement time per
+// library.
+func miniamrFigure(id string, cl *topology.Cluster, opt Options) (*Table, error) {
+	shapes := []struct{ nodes, ppn int }{{8, 16}, {16, 16}}
+	steps := 4
+	if opt.Quick {
+		shapes = []struct{ nodes, ppn int }{{2, 8}, {4, 8}}
+		steps = 2
+	}
+	t := &Table{
+		ID:     id,
+		Title:  "miniAMR mesh refinement time, " + cl.Name,
+		XLabel: "processes",
+		YLabel: "refinement time (us)",
+	}
+	for _, lib := range core.Libraries() {
+		s := Series{Label: string(lib)}
+		for _, shape := range shapes {
+			job, err := topology.NewJob(cl, shape.nodes, shape.ppn)
+			if err != nil {
+				return nil, err
+			}
+			e := core.NewEngine(mpi.NewWorld(job, mpi.Config{}))
+			res, err := miniamr.Run(e, miniamr.Config{
+				BlocksPerRank: 32, BlockBytes: 4096, Steps: steps, Library: lib,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d procs: %w", lib, job.NumProcs(), err)
+			}
+			s.Points = append(s.Points, Point{X: job.NumProcs(), Y: res.RefineTime.Micros()})
+		}
+		t.Series = append(t.Series, s)
+	}
+	t.Notes = append(t.Notes, "paper: proposed up to 40%/20% over MVAPICH2/Intel MPI on C, 60%/20% on D")
+	return t, nil
+}
+
+// modelComparison contrasts Section 5's analytic predictions (Eq. 7) with
+// simulated DPML latency across leader counts, and reports the optimal
+// leader count both ways.
+func modelComparison(id string, opt Options) (*Table, error) {
+	cl := topology.ClusterB()
+	nodes, ppn := 16, 28
+	if opt.Quick {
+		nodes, ppn = 8, 8
+	}
+	const bytes = 512 << 10
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Cost model (Eq. 7) vs simulation, %s, %d nodes x %d ppn, 512KB", cl.Name, nodes, ppn),
+		XLabel: "leaders",
+		YLabel: "latency (us)",
+	}
+	params := costmodel.FromCluster(cl)
+	model := Series{Label: "model"}
+	simulated := Series{Label: "simulated"}
+	leaders := []int{1, 2, 4, 8, 16}
+	for _, l := range leaders {
+		if l > ppn {
+			continue
+		}
+		p := params.With(nodes*ppn, nodes, l, bytes)
+		model.Points = append(model.Points, Point{X: l, Y: p.DPML() * 1e6})
+		lat, err := AllreduceLatency(cl, nodes, ppn, FixedSpec(core.DPML(l)), []int{bytes}, opt.Iters, opt.Warmup)
+		if err != nil {
+			return nil, err
+		}
+		simulated.Points = append(simulated.Points, Point{X: l, Y: lat[0].Micros()})
+	}
+	t.Series = []Series{model, simulated}
+	// Optimal leader count, both ways.
+	bestModel := params.With(nodes*ppn, nodes, 1, bytes).OptimalLeaders()
+	bestSim, bestY := 0, 0.0
+	for _, pt := range simulated.Points {
+		if bestSim == 0 || pt.Y < bestY {
+			bestSim, bestY = pt.X, pt.Y
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("optimal leaders: model=%d simulated=%d (candidates %v)", bestModel, bestSim, leaders))
+	return t, nil
+}
+
+// AllFigures regenerates every figure, sorted by id.
+func AllFigures(opt Options) ([]*Table, error) {
+	ids := FigureIDs()
+	sort.Strings(ids)
+	out := make([]*Table, 0, len(ids))
+	for _, id := range FigureIDs() {
+		tb, err := Figure(id, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, tb)
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+
+	"dpml/internal/core"
+	"dpml/internal/mpi"
+	"dpml/internal/sim"
+	"dpml/internal/topology"
+)
+
+// noiseSensitivity measures how system noise (deterministic per-message
+// jitter) inflates allreduce latency for designs with different numbers
+// of sequential communication steps. Flat recursive doubling has
+// ceil(lg p) dependent inter-node steps per rank; DPML cuts that to
+// ceil(lg h) on 1/l of the data, so it absorbs stragglers better — an
+// effect the paper's step-count analysis (Section 5.3) implies but never
+// plots. This is an extension figure.
+func noiseSensitivity(id string, opt Options) (*Table, error) {
+	cl := topology.ClusterB()
+	nodes, ppn := 16, 28
+	if opt.Quick {
+		nodes, ppn = 4, 8
+	}
+	const bytes = 64 << 10
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Noise sensitivity at 64KB, %s, %d nodes x %d ppn", cl.Name, nodes, ppn),
+		XLabel: "jitter (us/message)",
+		YLabel: "latency (us)",
+	}
+	jitters := []sim.Duration{0, 2 * sim.Microsecond, 8 * sim.Microsecond, 32 * sim.Microsecond}
+	cases := []struct {
+		label string
+		spec  core.Spec
+	}{
+		{"flat-rd", core.Flat(mpi.AlgRecursiveDoubling)},
+		{"flat-rabenseifner", core.Flat(mpi.AlgRabenseifner)},
+		{"dpml-16", core.DPML(minInt(16, ppn))},
+	}
+	for _, cse := range cases {
+		s := Series{Label: cse.label}
+		for _, j := range jitters {
+			lat, err := jitteredLatency(cl, nodes, ppn, cse.spec, bytes, j, opt.Iters)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: int(j.Micros()), Y: lat.Micros()})
+		}
+		t.Series = append(t.Series, s)
+	}
+	t.Notes = append(t.Notes, "extension figure: per-message jitter inflates multi-step flat algorithms more than the few-step DPML design")
+	return t, nil
+}
+
+// jitteredLatency is AllreduceLatency for a single size under noise.
+func jitteredLatency(cl *topology.Cluster, nodes, ppn int, spec core.Spec, bytes int, jitter sim.Duration, iters int) (sim.Duration, error) {
+	job, err := topology.NewJob(cl, nodes, ppn)
+	if err != nil {
+		return 0, err
+	}
+	e := core.NewEngine(mpi.NewWorld(job, mpi.Config{Jitter: jitter, JitterSeed: 7}))
+	var out sim.Duration
+	err = e.W.Run(func(r *mpi.Rank) error {
+		v := mpi.NewPhantom(mpi.Float32, bytes/4)
+		if err := e.Allreduce(r, spec, mpi.Sum, v); err != nil {
+			return err
+		}
+		r.Barrier(e.W.CommWorld())
+		start := r.Now()
+		for i := 0; i < iters; i++ {
+			if err := e.Allreduce(r, spec, mpi.Sum, v); err != nil {
+				return err
+			}
+		}
+		if r.Rank() == 0 {
+			out = r.Now().Sub(start) / sim.Duration(iters)
+		}
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement: X is the swept quantity (message bytes,
+// process count, ...), Y the metric (latency in microseconds, relative
+// throughput, ...).
+type Point struct {
+	X int
+	Y float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Y returns the series value at x, or NaN-free (0, false) when absent.
+func (s *Series) Y(x int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Table is one reproduced figure or table: a set of series over a common
+// X axis, with presentation metadata and free-form notes (e.g. observed
+// speedups to compare against the paper's claims).
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// XValues returns the sorted union of X values across all series.
+func (t *Table) XValues() []int {
+	seen := map[int]bool{}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			seen[p.X] = true
+		}
+	}
+	xs := make([]int, 0, len(seen))
+	for x := range seen {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	return xs
+}
+
+// Find returns the series with the given label, or nil.
+func (t *Table) Find(label string) *Series {
+	for i := range t.Series {
+		if t.Series[i].Label == label {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}
+
+// humanBytes renders a byte count the way the paper's axes do.
+func humanBytes(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	xs := t.XValues()
+	// Header.
+	widths := make([]int, len(t.Series)+1)
+	header := make([]string, len(t.Series)+1)
+	header[0] = t.XLabel
+	for i, s := range t.Series {
+		header[i+1] = s.Label
+	}
+	rows := make([][]string, 0, len(xs))
+	for _, x := range xs {
+		row := make([]string, len(t.Series)+1)
+		if strings.Contains(strings.ToLower(t.XLabel), "byte") || strings.Contains(strings.ToLower(t.XLabel), "size") {
+			row[0] = humanBytes(x)
+		} else {
+			row[0] = fmt.Sprintf("%d", x)
+		}
+		for i := range t.Series {
+			if y, ok := t.Series[i].Y(x); ok {
+				row[i+1] = fmt.Sprintf("%.2f", y)
+			} else {
+				row[i+1] = "-"
+			}
+		}
+		rows = append(rows, row)
+	}
+	for c := range header {
+		widths[c] = len(header[c])
+		for _, row := range rows {
+			if len(row[c]) > widths[c] {
+				widths[c] = len(row[c])
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for c, cell := range cells {
+			parts[c] = fmt.Sprintf("%*s", widths[c], cell)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	writeRow(header)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	fmt.Fprintf(w, "(Y: %s)\n", t.YLabel)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// speedupNote formats "A is X.XXx faster than B at <size>" for the best
+// ratio of series b over series a, and returns the peak ratio.
+func (t *Table) speedupNote(fast, slow string) (string, float64) {
+	f, s := t.Find(fast), t.Find(slow)
+	if f == nil || s == nil {
+		return "", 0
+	}
+	best, bestX := 0.0, 0
+	for _, p := range f.Points {
+		if sv, ok := s.Y(p.X); ok && p.Y > 0 {
+			if r := sv / p.Y; r > best {
+				best, bestX = r, p.X
+			}
+		}
+	}
+	if best == 0 {
+		return "", 0
+	}
+	return fmt.Sprintf("%s up to %.2fx faster than %s (at %s)",
+		fast, best, slow, humanBytes(bestX)), best
+}
+
+// AddSpeedupNote records the peak speedup of series fast over slow in the
+// notes and returns it.
+func (t *Table) AddSpeedupNote(fast, slow string) float64 {
+	note, r := t.speedupNote(fast, slow)
+	if note != "" {
+		t.Notes = append(t.Notes, note)
+	}
+	return r
+}

@@ -1,0 +1,274 @@
+// Package core implements the paper's contribution: the Data
+// Partitioning-based Multi-Leader (DPML) allreduce, its pipelined variant
+// for very large messages, the SHArP-accelerated node-leader and
+// socket-leader designs, the tuned library baselines (MVAPICH2, Intel
+// MPI) used for comparison, and the hybrid per-message-size selector.
+package core
+
+import (
+	"fmt"
+
+	"dpml/internal/fabric"
+	"dpml/internal/mpi"
+	"dpml/internal/shmseg"
+	"dpml/internal/sim"
+	"dpml/internal/trace"
+)
+
+// Design names one allreduce strategy.
+type Design string
+
+// Available designs.
+const (
+	// DesignFlat runs a single flat algorithm on the world communicator.
+	DesignFlat Design = "flat"
+	// DesignDPML is the paper's Data Partitioning-based Multi-Leader
+	// allreduce (Section 4.1): Spec.Leaders leaders per node share the
+	// intra-node reduction and drive concurrent inter-node allreduces on
+	// data partitions.
+	DesignDPML Design = "dpml"
+	// DesignDPMLPipelined additionally splits each leader's partition
+	// into Spec.Chunks sub-partitions reduced by interleaved
+	// non-blocking inter-node allreduces (Section 4.2).
+	DesignDPMLPipelined Design = "dpml-pipelined"
+	// DesignSharpNode offloads the inter-node reduction to the SHArP
+	// switch tree with one leader per node (Section 4.3).
+	DesignSharpNode Design = "sharp-node-leader"
+	// DesignSharpSocket uses one SHArP leader per socket, avoiding
+	// cross-socket gather/broadcast traffic (Section 4.3).
+	DesignSharpSocket Design = "sharp-socket-leader"
+)
+
+// Spec fully describes one allreduce configuration.
+type Spec struct {
+	Design Design
+	// Leaders is the DPML leader count per node (1..ppn). Leaders == 1
+	// reproduces the traditional single-leader hierarchical design that
+	// MVAPICH2-style libraries use.
+	Leaders int
+	// Chunks is the pipelining depth k for DesignDPMLPipelined.
+	Chunks int
+	// InterAlg is the flat algorithm for the inter-leader phase ("" =
+	// choose by message size, like the host MPI library would).
+	InterAlg mpi.Algorithm
+	// FlatAlg is the algorithm for DesignFlat ("" = recursive doubling).
+	FlatAlg mpi.Algorithm
+}
+
+func (s Spec) String() string {
+	switch s.Design {
+	case DesignDPML:
+		return fmt.Sprintf("dpml(l=%d)", s.Leaders)
+	case DesignDPMLPipelined:
+		return fmt.Sprintf("dpml-pipe(l=%d,k=%d)", s.Leaders, s.Chunks)
+	case DesignFlat:
+		alg := s.FlatAlg
+		if alg == "" {
+			alg = mpi.AlgRecursiveDoubling
+		}
+		return fmt.Sprintf("flat(%s)", alg)
+	default:
+		return string(s.Design)
+	}
+}
+
+// HostBased is the traditional single-leader hierarchical design
+// ("host-based scheme" in the paper's SHArP comparison): DPML with one
+// leader.
+func HostBased() Spec { return Spec{Design: DesignDPML, Leaders: 1} }
+
+// DPML returns a Spec for the multi-leader design with l leaders.
+func DPML(l int) Spec { return Spec{Design: DesignDPML, Leaders: l} }
+
+// DPMLPipelined returns a Spec for the pipelined design with l leaders
+// and k sub-partitions per leader.
+func DPMLPipelined(l, k int) Spec {
+	return Spec{Design: DesignDPMLPipelined, Leaders: l, Chunks: k}
+}
+
+// Flat returns a Spec running alg on the world communicator.
+func Flat(alg mpi.Algorithm) Spec { return Spec{Design: DesignFlat, FlatAlg: alg} }
+
+// Engine holds the per-job state the designs need: the shared-memory
+// regions, the per-leader-index communicators, and the SHArP groups.
+// Build it once per World, before World.Run.
+type Engine struct {
+	W *mpi.World
+
+	regions      []*shmseg.Region // per node
+	leaderComms  []*mpi.Comm      // per local rank index
+	leaderSocket []int            // socket of local rank j (uniform across nodes)
+	socketLeader []int            // per local rank: its socket's leader local index
+	socketSize   []int            // per socket-leader local index: ranks on that socket
+	seq          []uint64         // per global rank: shm operation sequence
+
+	sharpNode   *fabric.SharpGroup // one leader per node
+	sharpSocket *fabric.SharpGroup // one leader per socket per node
+}
+
+// NewEngine prepares DPML state for the world.
+func NewEngine(w *mpi.World) *Engine {
+	job := w.Job
+	e := &Engine{W: w, seq: make([]uint64, job.NumProcs())}
+	e.regions = make([]*shmseg.Region, job.NodesUsed)
+	for i := range e.regions {
+		e.regions[i] = shmseg.NewRegion(job.PPN)
+	}
+	e.leaderComms = make([]*mpi.Comm, job.PPN)
+	for j := range e.leaderComms {
+		e.leaderComms[j] = w.LeaderComm(j)
+	}
+	// Socket layout is uniform across nodes; read it off node 0.
+	e.leaderSocket = make([]int, job.PPN)
+	e.socketLeader = make([]int, job.PPN)
+	firstOfSocket := map[int]int{}
+	for local := 0; local < job.PPN; local++ {
+		s := job.Place(local).Socket
+		e.leaderSocket[local] = s
+		if _, ok := firstOfSocket[s]; !ok {
+			firstOfSocket[s] = local
+		}
+		e.socketLeader[local] = firstOfSocket[s]
+	}
+	e.socketSize = make([]int, job.PPN)
+	for local := 0; local < job.PPN; local++ {
+		e.socketSize[e.socketLeader[local]]++
+	}
+	if w.Sharp != nil {
+		if g, err := w.Sharp.NewGroup(job.NodesUsed, 1); err == nil {
+			e.sharpNode = g
+		}
+		if g, err := w.Sharp.NewGroup(job.NodesUsed, len(firstOfSocket)); err == nil {
+			e.sharpSocket = g
+		}
+	}
+	return e
+}
+
+// SharpAvailable reports whether SHArP designs can run on this world.
+func (e *Engine) SharpAvailable() bool { return e.sharpNode != nil }
+
+// SocketLeaders returns the local rank indices acting as socket leaders,
+// in socket order.
+func (e *Engine) SocketLeaders() []int {
+	var out []int
+	for local := 0; local < e.W.Job.PPN; local++ {
+		if e.socketLeader[local] == local {
+			out = append(out, local)
+		}
+	}
+	return out
+}
+
+// Validate reports whether the spec can run on this engine's world.
+func (e *Engine) Validate(s Spec) error {
+	ppn := e.W.Job.PPN
+	switch s.Design {
+	case DesignFlat:
+		if s.FlatAlg != "" {
+			found := false
+			for _, a := range mpi.FlatAlgorithms() {
+				if a == s.FlatAlg {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("core: unknown flat algorithm %q", s.FlatAlg)
+			}
+		}
+	case DesignDPML:
+		if s.Leaders < 1 || s.Leaders > ppn {
+			return fmt.Errorf("core: %d leaders with ppn=%d", s.Leaders, ppn)
+		}
+	case DesignDPMLPipelined:
+		if s.Leaders < 1 || s.Leaders > ppn {
+			return fmt.Errorf("core: %d leaders with ppn=%d", s.Leaders, ppn)
+		}
+		if s.Chunks < 1 || s.Chunks > 1024 {
+			return fmt.Errorf("core: pipeline depth %d out of range [1,1024]", s.Chunks)
+		}
+	case DesignSharpNode, DesignSharpSocket:
+		if !e.SharpAvailable() {
+			return fmt.Errorf("core: %s requires SHArP, unavailable on %s",
+				s.Design, e.W.Job.Cluster.Name)
+		}
+	default:
+		return fmt.Errorf("core: unknown design %q", s.Design)
+	}
+	return nil
+}
+
+// Allreduce performs one allreduce of vec (in place, every rank) with the
+// given design. All ranks must call it collectively with the same spec.
+func (e *Engine) Allreduce(r *mpi.Rank, s Spec, op *mpi.Op, vec *mpi.Vector) error {
+	if err := e.Validate(s); err != nil {
+		return err
+	}
+	if rec := e.W.Tracer(); rec != nil {
+		start := r.Now()
+		defer func() {
+			rec.Add(trace.Event{
+				Rank: r.Rank(), Kind: trace.KindCollective, Label: s.String(),
+				Start: start, End: r.Now(), Bytes: vec.Bytes(),
+			})
+		}()
+	}
+	switch s.Design {
+	case DesignFlat:
+		alg := s.FlatAlg
+		if alg == "" {
+			alg = mpi.AlgRecursiveDoubling
+		}
+		r.Allreduce(e.W.CommWorld(), alg, op, vec)
+	case DesignDPML:
+		e.dpml(r, op, vec, s.Leaders, 1, s.InterAlg)
+	case DesignDPMLPipelined:
+		e.dpml(r, op, vec, s.Leaders, s.Chunks, s.InterAlg)
+	case DesignSharpNode:
+		e.sharpAllreduce(r, op, vec, false)
+	case DesignSharpSocket:
+		e.sharpAllreduce(r, op, vec, true)
+	}
+	return nil
+}
+
+// autoAlg mirrors a production library's dynamic choice for the
+// inter-leader allreduce: latency-optimal recursive doubling for small
+// payloads, bandwidth-optimal Rabenseifner beyond.
+func autoAlg(bytes int) mpi.Algorithm {
+	if bytes <= 4096 {
+		return mpi.AlgRecursiveDoubling
+	}
+	return mpi.AlgRabenseifner
+}
+
+// nextSeq advances this rank's shm-region operation sequence.
+func (e *Engine) nextSeq(r *mpi.Rank) uint64 {
+	s := e.seq[r.Rank()]
+	e.seq[r.Rank()]++
+	return s
+}
+
+// gatherSync charges the leader-side synchronization cost of collecting
+// contributions through shared memory: one flag poll per contributor,
+// dearer when the contributor sits on the other socket. This per-rank
+// serial cost at the leader is the intra-node bottleneck that motivates
+// socket-level leaders (Section 4.3).
+func (e *Engine) gatherSync(r *mpi.Rank, leaderLocal int, sameSocketOnly bool) {
+	mem := e.W.Job.Cluster.Mem
+	ls := e.leaderSocket[leaderLocal]
+	var d sim.Duration
+	for local := 0; local < e.W.Job.PPN; local++ {
+		if local == leaderLocal {
+			continue
+		}
+		if e.leaderSocket[local] == ls {
+			d += mem.FlagSync
+		} else if !sameSocketOnly {
+			d += mem.FlagSyncCross
+		}
+	}
+	if d > 0 {
+		r.Proc().Sleep(d)
+	}
+}

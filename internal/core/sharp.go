@@ -1,0 +1,105 @@
+package core
+
+import (
+	"dpml/internal/fabric"
+	"dpml/internal/mpi"
+)
+
+// sharpAllreduce implements the two SHArP designs of Section 4.3.
+//
+// Node-leader (socketLevel=false): every local rank copies its full input
+// to the node leader (local rank 0) through shared memory — ranks on the
+// other socket pay the cross-socket penalty on both the gather and the
+// broadcast; the leader performs ppn-1 reductions, hands the partial
+// result to the switch tree, and broadcasts the result back.
+//
+// Socket-leader (socketLevel=true): one leader per socket gathers only
+// its socket's ranks (no cross-socket copies), and all socket leaders of
+// all nodes participate in one SHArP operation.
+//
+// Payloads beyond the fabric's SHArP limit fall back to the host-based
+// single-leader hierarchy, as production implementations do.
+func (e *Engine) sharpAllreduce(r *mpi.Rank, op *mpi.Op, vec *mpi.Vector, socketLevel bool) {
+	group := e.sharpNode
+	if socketLevel {
+		group = e.sharpSocket
+	}
+	if vec.Bytes() > e.W.Sharp.MaxPayload() {
+		e.dpml(r, op, vec, 1, 1, "")
+		return
+	}
+
+	job := e.W.Job
+	pl := r.Place()
+	ppn := job.PPN
+
+	if ppn == 1 {
+		// The designs coincide: the single local rank is the leader.
+		e.sharpOp(r, group, op, vec)
+		return
+	}
+
+	leader := 0
+	want := ppn
+	if socketLevel {
+		leader = e.socketLeader[pl.LocalRank]
+		want = e.socketSize[leader]
+	}
+
+	seq := e.nextSeq(r)
+	rg := e.regions[pl.Node]
+
+	// Gather: full input to this rank's leader. Leader indices in the
+	// region are local rank numbers, so segments never collide.
+	cross := pl.Socket != e.leaderSocket[leader]
+	r.MemCopy(cross, vec.Bytes())
+	rg.Put(seq, ppn, leader, pl.LocalRank, vec.Clone())
+
+	if pl.LocalRank == leader {
+		slots := rg.GatherWait(r.Proc(), seq, ppn, leader, want)
+		e.gatherSync(r, leader, socketLevel)
+		var acc *mpi.Vector
+		for _, s := range slots {
+			if s == nil {
+				continue
+			}
+			if acc == nil {
+				acc = s.Clone()
+				continue
+			}
+			r.Reduce(op, acc, s)
+		}
+		e.sharpOp(r, group, op, acc)
+		rg.Publish(seq, ppn, leader, acc)
+	}
+
+	// Broadcast: copy the result back from this rank's leader.
+	res := rg.ResultWait(r.Proc(), seq, ppn, leader)
+	r.MemCopy(cross, res.Bytes())
+	vec.CopyFrom(res)
+	rg.DoneCopy(seq)
+}
+
+// sharpOp runs one in-network reduction for this leader, folding real
+// payloads through the switch model's data path.
+func (e *Engine) sharpOp(r *mpi.Rank, group *fabric.SharpGroup, op *mpi.Op, vec *mpi.Vector) {
+	var contrib any
+	var combine func(a, b any) any
+	if !vec.Phantom() {
+		contrib = vec.Clone()
+		combine = func(a, b any) any {
+			av, bv := a.(*mpi.Vector), b.(*mpi.Vector)
+			op.Apply(av, bv)
+			return av
+		}
+	}
+	res, err := group.Allreduce(r.Proc(), vec.Bytes(), contrib, combine)
+	if err != nil {
+		// The payload was validated against MaxPayload by the caller;
+		// remaining errors indicate inconsistent collective calls.
+		panic(err)
+	}
+	if res != nil {
+		vec.CopyFrom(res.(*mpi.Vector))
+	}
+}

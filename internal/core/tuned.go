@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"dpml/internal/mpi"
+)
+
+// Library identifies a tuned baseline selector emulating a production MPI
+// library's allreduce decision table (Section 6.4 compares against these).
+type Library string
+
+// Baseline libraries.
+const (
+	// LibMVAPICH2 emulates MVAPICH2-2.2: a shared-memory single-leader
+	// hierarchy for small and medium messages (Section 2.1's default
+	// design), switching to a flat bandwidth-optimal algorithm for large
+	// ones.
+	LibMVAPICH2 Library = "mvapich2"
+	// LibIntelMPI emulates Intel MPI 2017: flat recursive doubling at
+	// the smallest sizes, then a single-leader hierarchy, then flat
+	// Rabenseifner/ring with a lower switch point, which makes it
+	// stronger than MVAPICH2 at large message sizes (as the paper's
+	// Figures 9-10 show).
+	LibIntelMPI Library = "intelmpi"
+	// LibProposed is the paper's design: the per-size best DPML /
+	// DPML-Pipelined / SHArP configuration (the hybrid of Section 4).
+	LibProposed Library = "proposed"
+)
+
+// Libraries returns the comparable baselines in presentation order.
+func Libraries() []Library { return []Library{LibMVAPICH2, LibIntelMPI, LibProposed} }
+
+// SpecFor returns the allreduce configuration the library would choose
+// for a message of the given size on this engine's job.
+func (e *Engine) SpecFor(lib Library, bytes int) Spec {
+	switch lib {
+	case LibMVAPICH2:
+		return e.mvapich2Spec(bytes)
+	case LibIntelMPI:
+		return e.intelMPISpec(bytes)
+	case LibProposed:
+		return e.ProposedSpec(bytes)
+	}
+	panic(fmt.Sprintf("core: unknown library %q", lib))
+}
+
+// LibraryAllreduce performs one allreduce the way the given library
+// would. Unknown library names are reported as errors (SpecFor panics,
+// since it is only reachable with validated names).
+func (e *Engine) LibraryAllreduce(r *mpi.Rank, lib Library, op *mpi.Op, vec *mpi.Vector) error {
+	known := false
+	for _, l := range Libraries() {
+		if l == lib {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("core: unknown library %q (known: %v)", lib, Libraries())
+	}
+	return e.Allreduce(r, e.SpecFor(lib, vec.Bytes()), op, vec)
+}
+
+func (e *Engine) mvapich2Spec(bytes int) Spec {
+	// MVAPICH2-2.2's shared-memory design (Section 2.1): one leader per
+	// node aggregates through shm, the leaders run the size-appropriate
+	// inter-node algorithm, and the result is broadcast through shm.
+	// Keeping the single-leader hierarchy at every size is exactly the
+	// behaviour the paper's Figures 4-7 improve on: the leader's
+	// serialized ppn-1 reductions dominate at large sizes.
+	if bytes <= 16<<10 {
+		return Spec{Design: DesignDPML, Leaders: 1}
+	}
+	return Spec{Design: DesignDPML, Leaders: 1, InterAlg: mpi.AlgRabenseifner}
+}
+
+func (e *Engine) intelMPISpec(bytes int) Spec {
+	// Intel MPI 2017's defaults: a shared-memory hierarchy only at the
+	// smallest sizes, then flat bandwidth-optimal algorithms (recursive
+	// halving/doubling). Keeping every rank in the inter-node algorithm
+	// distributes the reduction compute across all cores, which is why
+	// this baseline beats MVAPICH2's single-leader hierarchy at large
+	// sizes (Figures 9c, 9d, 10) while still losing to DPML's concurrent
+	// leader transfers.
+	switch {
+	case bytes <= 4<<10:
+		return Spec{Design: DesignDPML, Leaders: 1}
+	case bytes <= 32<<10:
+		return Spec{Design: DesignFlat, FlatAlg: mpi.AlgRecursiveDoubling}
+	default:
+		return Spec{Design: DesignFlat, FlatAlg: mpi.AlgRabenseifner}
+	}
+}
+
+// ProposedSpec is the paper's hybrid selector: SHArP for small messages
+// when the fabric supports it, DPML with a size- and architecture-
+// dependent leader count for medium and large messages, and pipelining
+// when the per-leader partition would still sit in the bandwidth-bound
+// zone (Section 4.2's very-large-message case).
+func (e *Engine) ProposedSpec(bytes int) Spec {
+	ppn := e.W.Job.PPN
+	if e.SharpAvailable() && bytes <= e.W.Sharp.MaxPayload()/4 {
+		if ppn <= 2 {
+			return Spec{Design: DesignSharpNode}
+		}
+		return Spec{Design: DesignSharpSocket}
+	}
+	l := BestLeaders(e.W.Job.Cluster.Name, ppn, bytes)
+	if l <= 1 && bytes <= 1<<10 {
+		return Spec{Design: DesignDPML, Leaders: 1}
+	}
+	// Pipeline when each leader's partition is still deep in Zone C.
+	perLeader := bytes / l
+	if perLeader >= 256<<10 {
+		k := perLeader / (64 << 10)
+		if k > 16 {
+			k = 16
+		}
+		if k > 1 {
+			return Spec{Design: DesignDPMLPipelined, Leaders: l, Chunks: k}
+		}
+	}
+	return Spec{Design: DesignDPML, Leaders: l}
+}
+
+// BestLeaders returns the empirically tuned DPML leader count for a
+// cluster, ppn, and message size — the per-size winner map produced by
+// the Section 6.4 tuning sweep (examples/tuning regenerates it): one
+// leader at small sizes (parallelizing tiny reductions does not pay),
+// growing leader counts through the transition zone, and 16 leaders
+// (capped by ppn) for Zone-C messages. The cluster name is accepted so
+// per-architecture tables can diverge; the calibrated simulator's winner
+// map happens to coincide across fabrics.
+func BestLeaders(clusterName string, ppn, bytes int) int {
+	_ = clusterName
+	capPPN := func(l int) int {
+		if l > ppn {
+			return ppn
+		}
+		return l
+	}
+	switch {
+	case bytes <= 256:
+		return 1
+	case bytes <= 2<<10:
+		return capPPN(4)
+	case bytes <= 16<<10:
+		return capPPN(8)
+	default:
+		return capPPN(16)
+	}
+}

@@ -1,0 +1,152 @@
+// Package costmodel implements the analytic model of Section 5: the cost
+// of allreduce designs in terms of per-message startup (a), per-byte
+// transfer (b), shared-memory startup and per-byte costs (a', b'), and
+// per-byte reduction compute (c) — Table 1's notation. The model is used
+// to sanity-check the simulator, to predict the optimal leader count, and
+// to regenerate the paper's equations as a comparison table.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"dpml/internal/topology"
+)
+
+// Params carries Table 1's symbols. Times are in seconds, sizes in bytes.
+type Params struct {
+	P int // number of MPI processes
+	H int // number of nodes
+	L int // number of leader processes per node
+	N int // input vector size in bytes
+
+	A      float64 // startup time per inter-node message
+	B      float64 // transfer time per byte, inter-node
+	APrime float64 // startup time per shared-memory copy
+	BPrime float64 // transfer time per byte, shared memory
+	C      float64 // computation cost of one reduction per byte
+
+	K int // sub-partitions used by DPML-Pipelined
+}
+
+// FromCluster derives a, b, a', b', c from a cluster's fabric profile.
+func FromCluster(c *topology.Cluster) Params {
+	return Params{
+		A:      (c.Net.SenderOverhead + c.Net.WireLatency + c.Net.ReceiverOverhead).Seconds(),
+		B:      1 / c.Net.PerFlowCap,
+		APrime: c.Mem.CopyStartup.Seconds(),
+		BPrime: 1 / c.Mem.CopyRate,
+		C:      1 / c.CPU.ReduceRate,
+		K:      1,
+	}
+}
+
+// With returns a copy of p with the job shape filled in.
+func (p Params) With(procs, nodes, leaders, bytes int) Params {
+	p.P, p.H, p.L, p.N = procs, nodes, leaders, bytes
+	return p
+}
+
+// Validate reports the first inconsistency in the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.P <= 0 || p.H <= 0 || p.L <= 0:
+		return fmt.Errorf("costmodel: P=%d H=%d L=%d must be positive", p.P, p.H, p.L)
+	case p.N < 0:
+		return fmt.Errorf("costmodel: N=%d must be non-negative", p.N)
+	case p.P%p.H != 0:
+		return fmt.Errorf("costmodel: P=%d not divisible by H=%d", p.P, p.H)
+	case p.L > p.P/p.H:
+		return fmt.Errorf("costmodel: L=%d exceeds ppn=%d", p.L, p.P/p.H)
+	case p.A < 0 || p.B < 0 || p.APrime < 0 || p.BPrime < 0 || p.C < 0:
+		return fmt.Errorf("costmodel: negative cost coefficients")
+	case p.K < 1:
+		return fmt.Errorf("costmodel: K=%d must be >= 1", p.K)
+	}
+	return nil
+}
+
+// lg2ceil returns ceil(lg x) for x >= 1.
+func lg2ceil(x int) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(x)))
+}
+
+// RecursiveDoubling is Eq. 1: the cost of a flat power-of-two recursive
+// doubling allreduce, ceil(lg p) * (a + n*b + n*c).
+func (p Params) RecursiveDoubling() float64 {
+	n := float64(p.N)
+	return lg2ceil(p.P) * (p.A + n*p.B + n*p.C)
+}
+
+// CopyPhase is Eq. 2 (and Eq. 6): every process copies l partitions of
+// n/l bytes through shared memory: l * (a' + b' * n/l).
+func (p Params) CopyPhase() float64 {
+	n := float64(p.N)
+	l := float64(p.L)
+	return l*p.APrime + p.BPrime*n
+}
+
+// ComputePhase is Eq. 3 as published: (p/(h*l) - 1) * n * c.
+func (p Params) ComputePhase() float64 {
+	n := float64(p.N)
+	f := float64(p.P)/(float64(p.H)*float64(p.L)) - 1
+	if f < 0 {
+		f = 0
+	}
+	return f * n * p.C
+}
+
+// CommPhase is Eq. 4: the inter-node allreduce by leaders,
+// ceil(lg h) * (a + n*b/l + n*c/l).
+func (p Params) CommPhase() float64 {
+	n := float64(p.N)
+	l := float64(p.L)
+	return lg2ceil(p.H) * (p.A + n*p.B/l + n*p.C/l)
+}
+
+// CommPhasePipelined is Eq. 5: with k sub-partitions the startup term
+// multiplies by k while the transfer and compute terms are unchanged:
+// ceil(lg h) * (a*k + n*b/l + n*c/l).
+func (p Params) CommPhasePipelined() float64 {
+	n := float64(p.N)
+	l := float64(p.L)
+	return lg2ceil(p.H) * (p.A*float64(p.K) + n*p.B/l + n*p.C/l)
+}
+
+// BcastPhase is Eq. 6, identical in form to Eq. 2.
+func (p Params) BcastPhase() float64 { return p.CopyPhase() }
+
+// DPML is Eq. 7: the total cost of the four-phase algorithm,
+// 2*l*(a' + b'*n/l) + (p/(h*l)-1)*n*c + ceil(lg h)*(a + n*b/l + n*c/l).
+func (p Params) DPML() float64 {
+	return p.CopyPhase() + p.ComputePhase() + p.CommPhase() + p.BcastPhase()
+}
+
+// DPMLPipelined is Eq. 7 with Eq. 5 substituted for the comm phase.
+func (p Params) DPMLPipelined() float64 {
+	return p.CopyPhase() + p.ComputePhase() + p.CommPhasePipelined() + p.BcastPhase()
+}
+
+// OptimalLeaders returns the leader count 1 <= l <= ppn minimizing Eq. 7
+// (ties go to the smaller l, since fewer leaders means fewer shm
+// startups).
+func (p Params) OptimalLeaders() int {
+	ppn := p.P / p.H
+	best, bestT := 1, math.Inf(1)
+	for l := 1; l <= ppn; l++ {
+		t := p.With(p.P, p.H, l, p.N).DPML()
+		if t < bestT {
+			best, bestT = l, t
+		}
+	}
+	return best
+}
+
+// PhaseBreakdown returns the four phase costs of Eq. 7 in order (copy,
+// compute, comm, bcast), for reporting.
+func (p Params) PhaseBreakdown() [4]float64 {
+	return [4]float64{p.CopyPhase(), p.ComputePhase(), p.CommPhase(), p.BcastPhase()}
+}

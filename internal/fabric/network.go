@@ -1,0 +1,255 @@
+package fabric
+
+import (
+	"fmt"
+
+	"dpml/internal/sim"
+	"dpml/internal/topology"
+)
+
+// hca is one host channel adapter: an uplink, a downlink, and an injection
+// serializer enforcing the NIC message rate.
+type hca struct {
+	up       *Link
+	down     *Link
+	nextFree sim.Time
+}
+
+// Network models the inter-node interconnect of one job: per-node HCAs
+// with capacity-limited links and message-rate-limited injectors, an
+// optional oversubscribed fat-tree core stage, and fluid flows in between.
+//
+// Every communicating process owns an Endpoint whose private pipe link
+// models its per-process protocol-processing rate (PSM onload / per-QP
+// driving): however many messages the process has in flight, their total
+// rate cannot exceed the pipe. This is what makes concurrency from
+// *different* processes profitable (Figure 1) while extra in-flight
+// messages from one process are not.
+type Network struct {
+	k     *sim.Kernel
+	flows *FlowNet
+	prof  topology.NetProfile
+	nodes [][]*hca // [node][hca]
+	core  *Link    // nil when the core is not a modelled bottleneck
+
+	// Stats counts message-level activity.
+	Stats struct {
+		Messages uint64
+		Bytes    uint64
+	}
+}
+
+// Endpoint is one process's attachment to the network. The pipes are
+// full-duplex (matching the cost model's assumption): sending and
+// receiving each have their own per-process processing rate.
+type Endpoint struct {
+	net  *Network
+	node int
+	hca  int
+	tx   *Link
+	rx   *Link
+}
+
+// Node returns the endpoint's node index.
+func (ep *Endpoint) Node() int { return ep.node }
+
+// unlimited is the per-flow rate cap used now that rate limiting happens
+// through per-process pipe links.
+const unlimited = 1e18
+
+// NewNetwork builds the interconnect for nodes compute nodes of the given
+// cluster, sharing the provided flow scheduler.
+func NewNetwork(k *sim.Kernel, flows *FlowNet, c *topology.Cluster, nodes int) *Network {
+	if nodes <= 0 || nodes > c.Nodes {
+		panic(fmt.Sprintf("fabric: NewNetwork with %d nodes on %s", nodes, c.Name))
+	}
+	n := &Network{k: k, flows: flows, prof: c.Net}
+	n.nodes = make([][]*hca, nodes)
+	for i := range n.nodes {
+		hcas := make([]*hca, c.HCAs)
+		for h := range hcas {
+			hcas[h] = &hca{
+				up:   NewLink(fmt.Sprintf("n%d.h%d.up", i, h), c.Net.LinkBandwidth),
+				down: NewLink(fmt.Sprintf("n%d.h%d.down", i, h), c.Net.LinkBandwidth),
+			}
+		}
+		n.nodes[i] = hcas
+	}
+	if over := c.Net.Oversubscription; over > 1 {
+		agg := c.Net.LinkBandwidth * float64(nodes*c.HCAs) / over
+		n.core = NewLink("core", agg)
+	}
+	return n
+}
+
+// Profile returns the interconnect parameters in force.
+func (n *Network) Profile() topology.NetProfile { return n.prof }
+
+// NumNodes returns the number of nodes wired into this network.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Endpoint creates a fresh process attachment on the given node and HCA,
+// with its own per-process pipe at the profile's PerFlowCap rate.
+func (n *Network) Endpoint(node, hcaIdx int) *Endpoint {
+	n.hcaAt(node, hcaIdx) // validate
+	return &Endpoint{
+		net:  n,
+		node: node,
+		hca:  hcaIdx,
+		tx:   NewLink(fmt.Sprintf("n%d.h%d.tx", node, hcaIdx), n.prof.PerFlowCap),
+		rx:   NewLink(fmt.Sprintf("n%d.h%d.rx", node, hcaIdx), n.prof.PerFlowCap),
+	}
+}
+
+// InjectDelay reserves the next injection slot on the endpoint's HCA and
+// returns how long the caller must wait before the message enters the
+// wire. It advances the injector clock, so callers must sleep the
+// returned duration (the MPI layer does).
+func (ep *Endpoint) InjectDelay() sim.Duration {
+	h := ep.net.hcaAt(ep.node, ep.hca)
+	now := ep.net.k.Now()
+	start := now
+	if h.nextFree > start {
+		start = h.nextFree
+	}
+	h.nextFree = start.Add(ep.net.prof.MsgGap)
+	return start.Sub(now)
+}
+
+// StartTransfer launches the wire part of one message between two
+// endpoints on different nodes. The flow traverses the sender's pipe, the
+// sender's uplink, the (optional) core stage, the receiver's downlink,
+// and the receiver's pipe; onArrive fires in kernel context when the last
+// byte has crossed the wire latency. The caller is responsible for
+// charging CPU overheads and injection delay first.
+func (n *Network) StartTransfer(src, dst *Endpoint, bytes int64, onArrive func()) {
+	if src.node == dst.node {
+		panic("fabric: StartTransfer within a node; use MemChannel")
+	}
+	su := n.hcaAt(src.node, src.hca)
+	dd := n.hcaAt(dst.node, dst.hca)
+	n.Stats.Messages++
+	if bytes > 0 {
+		n.Stats.Bytes += uint64(bytes)
+	}
+	wire := n.prof.WireLatency
+	done := func() { n.k.After(wire, onArrive) }
+	if n.core != nil {
+		n.flows.Start(bytes, unlimited, done, src.tx, su.up, n.core, dd.down, dst.rx)
+		return
+	}
+	n.flows.Start(bytes, unlimited, done, src.tx, su.up, dd.down, dst.rx)
+}
+
+func (n *Network) hcaAt(node, h int) *hca {
+	if node < 0 || node >= len(n.nodes) {
+		panic(fmt.Sprintf("fabric: node %d out of range [0,%d)", node, len(n.nodes)))
+	}
+	hcas := n.nodes[node]
+	if h < 0 || h >= len(hcas) {
+		panic(fmt.Sprintf("fabric: hca %d out of range [0,%d)", h, len(hcas)))
+	}
+	return hcas[h]
+}
+
+// MemChannel models one node's shared-memory communication: every copy is
+// a flow over the node's aggregate memory bandwidth with a per-flow
+// streaming cap that depends on whether the copy crosses sockets.
+type MemChannel struct {
+	k     *sim.Kernel
+	flows *FlowNet
+	prof  topology.MemProfile
+	link  *Link
+
+	// Stats counts copies.
+	Stats struct {
+		Copies      uint64
+		CrossSocket uint64
+		Bytes       uint64
+	}
+}
+
+// NewMemChannel builds the memory channel for one node.
+func NewMemChannel(k *sim.Kernel, flows *FlowNet, c *topology.Cluster, node int) *MemChannel {
+	return &MemChannel{
+		k:     k,
+		flows: flows,
+		prof:  c.Mem,
+		link:  NewLink(fmt.Sprintf("n%d.mem", node), c.Mem.AggregateBW),
+	}
+}
+
+// Profile returns the memory parameters in force.
+func (m *MemChannel) Profile() topology.MemProfile { return m.prof }
+
+// Copy blocks the calling proc for the duration of a shared-memory copy of
+// bytes: the fixed startup cost (the paper's a'), then a flow across the
+// node's memory system at the intra- or cross-socket streaming rate. The
+// proc is busy for the whole copy (memcpy is CPU work).
+func (m *MemChannel) Copy(p *sim.Proc, crossSocket bool, bytes int64) {
+	startup := m.prof.CopyStartup
+	rate := m.prof.CopyRate
+	if crossSocket {
+		startup += m.prof.CrossSocketExtra
+		rate = m.prof.CrossSocketRate
+		m.Stats.CrossSocket++
+	}
+	m.Stats.Copies++
+	if bytes > 0 {
+		m.Stats.Bytes += uint64(bytes)
+	}
+	p.Sleep(startup)
+	if bytes <= 0 {
+		return
+	}
+	var done sim.Signal
+	m.flows.Start(bytes, rate, func() { done.Fire() }, m.link)
+	done.Wait(p, "shm copy")
+}
+
+// StartTransfer is the asynchronous variant used for intra-node
+// point-to-point messages: the payload drains through the memory system
+// and onArrive fires when it lands. The caller charges startup costs.
+func (m *MemChannel) StartTransfer(crossSocket bool, bytes int64, onArrive func()) {
+	rate := m.prof.CopyRate
+	if crossSocket {
+		rate = m.prof.CrossSocketRate
+		m.Stats.CrossSocket++
+	}
+	m.Stats.Copies++
+	if bytes > 0 {
+		m.Stats.Bytes += uint64(bytes)
+	}
+	m.flows.Start(bytes, rate, onArrive, m.link)
+}
+
+// LinkReport summarizes one link's lifetime activity for observability
+// tools.
+type LinkReport struct {
+	Name     string
+	Capacity float64 // bytes/sec
+	Bytes    int64   // total carried
+	Busy     sim.Duration
+}
+
+func report(l *Link) LinkReport {
+	return LinkReport{Name: l.Name(), Capacity: l.Capacity(), Bytes: l.BytesMoved(), Busy: l.BusyTime()}
+}
+
+// Report returns per-link activity for every NIC link (and the core
+// stage, if modelled), in node/HCA order.
+func (n *Network) Report() []LinkReport {
+	var out []LinkReport
+	for _, hcas := range n.nodes {
+		for _, h := range hcas {
+			out = append(out, report(h.up), report(h.down))
+		}
+	}
+	if n.core != nil {
+		out = append(out, report(n.core))
+	}
+	return out
+}
+
+// Report returns the memory system's activity.
+func (m *MemChannel) Report() LinkReport { return report(m.link) }

@@ -1,0 +1,462 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+
+	"dpml/internal/sim"
+	"dpml/internal/topology"
+)
+
+func TestNetworkTransferBasics(t *testing.T) {
+	k := sim.NewKernel()
+	fn := NewFlowNet(k)
+	c := topology.ClusterB()
+	net := NewNetwork(k, fn, c, 2)
+	var arrived sim.Time
+	src, dst := net.Endpoint(0, 0), net.Endpoint(1, 0)
+	k.Spawn("sender", func(p *sim.Proc) {
+		var done sim.Signal
+		net.StartTransfer(src, dst, 1<<20, func() { arrived = k.Now(); done.Fire() })
+		done.Wait(p, "arrive")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Duration(sim.TransferTime(1<<20, c.Net.PerFlowCap)) + c.Net.WireLatency
+	if got := sim.Duration(arrived); got != want {
+		t.Fatalf("arrival at %v, want %v", got, want)
+	}
+	if net.Stats.Messages != 1 || net.Stats.Bytes != 1<<20 {
+		t.Fatalf("stats %+v", net.Stats)
+	}
+}
+
+func TestNetworkConcurrencyScalesOnIB(t *testing.T) {
+	// The Fig 1b property: k concurrent pairs on IB move k MB in barely
+	// more than one pair moves 1 MB, because per-flow caps (not the
+	// link) bind.
+	c := topology.ClusterB()
+	elapsed := func(pairs int) sim.Duration {
+		k := sim.NewKernel()
+		fn := NewFlowNet(k)
+		net := NewNetwork(k, fn, c, 2)
+		k.Spawn("driver", func(p *sim.Proc) {
+			var wg sim.WaitGroup
+			wg.Add(pairs)
+			for i := 0; i < pairs; i++ {
+				net.StartTransfer(net.Endpoint(0, 0), net.Endpoint(1, 0), 1<<20, func() { wg.Done() })
+			}
+			wg.Wait(p, "transfers")
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Duration(k.Now())
+	}
+	t1, t8 := elapsed(1), elapsed(8)
+	// 8 pairs move 8x the data; with per-flow caps binding, time should
+	// stay within 25% of a single pair.
+	if float64(t8) > float64(t1)*1.25 {
+		t.Fatalf("8-pair time %v vs 1-pair %v: IB concurrency not scaling", t8, t1)
+	}
+}
+
+func TestNetworkConcurrencyFlatOnOmniPathLarge(t *testing.T) {
+	// The Fig 1c Zone C property: on Omni-Path one flow nearly saturates
+	// the link, so 8 concurrent 1 MB transfers take ~8x one transfer.
+	c := topology.ClusterC()
+	elapsed := func(pairs int) sim.Duration {
+		k := sim.NewKernel()
+		fn := NewFlowNet(k)
+		net := NewNetwork(k, fn, c, 2)
+		k.Spawn("driver", func(p *sim.Proc) {
+			var wg sim.WaitGroup
+			wg.Add(pairs)
+			for i := 0; i < pairs; i++ {
+				net.StartTransfer(net.Endpoint(0, 0), net.Endpoint(1, 0), 1<<20, func() { wg.Done() })
+			}
+			wg.Wait(p, "transfers")
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Duration(k.Now())
+	}
+	t1, t8 := elapsed(1), elapsed(8)
+	ratio := float64(t8) / float64(t1)
+	if ratio < 6 {
+		t.Fatalf("8-pair/1-pair time ratio %.2f, want ~8 (link-bound)", ratio)
+	}
+}
+
+func TestInjectDelayEnforcesMessageGap(t *testing.T) {
+	k := sim.NewKernel()
+	fn := NewFlowNet(k)
+	c := topology.ClusterC()
+	net := NewNetwork(k, fn, c, 2)
+	ep0 := net.Endpoint(0, 0)
+	ep0b := net.Endpoint(0, 0) // second process on the same HCA
+	ep1 := net.Endpoint(1, 0)
+	k.Spawn("driver", func(p *sim.Proc) {
+		// Back-to-back injections at the same instant must space out by
+		// MsgGap each, and the HCA injector is shared between the node's
+		// processes.
+		if d := ep0.InjectDelay(); d != 0 {
+			t.Errorf("first injection delayed %v", d)
+		}
+		if d := ep0.InjectDelay(); d != c.Net.MsgGap {
+			t.Errorf("second injection delayed %v, want %v", d, c.Net.MsgGap)
+		}
+		if d := ep0b.InjectDelay(); d != 2*c.Net.MsgGap {
+			t.Errorf("third injection (other process) delayed %v, want %v", d, 2*c.Net.MsgGap)
+		}
+		// A different node's HCA is independent.
+		if d := ep1.InjectDelay(); d != 0 {
+			t.Errorf("other node injection delayed %v", d)
+		}
+		// After the gap has passed, no delay.
+		p.Sleep(sim.Second)
+		if d := ep0.InjectDelay(); d != 0 {
+			t.Errorf("injection after idle delayed %v", d)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversubscribedCoreBottleneck(t *testing.T) {
+	// Cluster D has a 5/4 oversubscribed core. With every node blasting
+	// full-rate traffic, the aggregate must be limited by core capacity.
+	c := topology.ClusterD()
+	const nodes = 8
+	k := sim.NewKernel()
+	fn := NewFlowNet(k)
+	net := NewNetwork(k, fn, c, nodes)
+	if net.core == nil {
+		t.Fatal("cluster D network must model an oversubscribed core")
+	}
+	const bytes = 4 << 20
+	k.Spawn("driver", func(p *sim.Proc) {
+		var wg sim.WaitGroup
+		// node i -> node (i+1)%nodes, 2 sender processes each to stress
+		// the core
+		for i := 0; i < nodes; i++ {
+			for j := 0; j < 2; j++ {
+				wg.Add(1)
+				net.StartTransfer(net.Endpoint(i, 0), net.Endpoint((i+1)%nodes, 0), bytes, func() { wg.Done() })
+			}
+		}
+		wg.Wait(p, "transfers")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := float64(nodes * 2 * bytes)
+	coreCap := c.Net.LinkBandwidth * float64(nodes) / c.Net.Oversubscription
+	minTime := sim.DurationOfSeconds(total / coreCap)
+	if sim.Duration(k.Now()) < minTime-sim.Microsecond {
+		t.Fatalf("finished at %v, faster than core capacity permits (%v)", k.Now(), minTime)
+	}
+}
+
+func TestNetworkPanicsOnBadEndpoints(t *testing.T) {
+	k := sim.NewKernel()
+	fn := NewFlowNet(k)
+	net := NewNetwork(k, fn, topology.ClusterB(), 2)
+	cases := []func(){
+		func() { net.StartTransfer(net.Endpoint(0, 0), net.Endpoint(0, 0), 10, func() {}) }, // same node
+		func() { net.Endpoint(5, 0) }, // bad node
+		func() { net.Endpoint(0, 3) }, // bad hca
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMemChannelCopyCosts(t *testing.T) {
+	c := topology.ClusterA()
+	elapsed := func(cross bool, bytes int64) sim.Duration {
+		k := sim.NewKernel()
+		fn := NewFlowNet(k)
+		m := NewMemChannel(k, fn, c, 0)
+		k.Spawn("copier", func(p *sim.Proc) { m.Copy(p, cross, bytes) })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Duration(k.Now())
+	}
+	// Intra-socket: startup + bytes/CopyRate.
+	got := elapsed(false, 1<<20)
+	want := c.Mem.CopyStartup + sim.TransferTime(1<<20, c.Mem.CopyRate)
+	if got != want {
+		t.Fatalf("intra-socket copy %v, want %v", got, want)
+	}
+	// Cross-socket pays the extra latency and the slower rate.
+	gotX := elapsed(true, 1<<20)
+	wantX := c.Mem.CopyStartup + c.Mem.CrossSocketExtra + sim.TransferTime(1<<20, c.Mem.CrossSocketRate)
+	if gotX != wantX {
+		t.Fatalf("cross-socket copy %v, want %v", gotX, wantX)
+	}
+	if gotX <= got {
+		t.Fatal("cross-socket copy must cost more than intra-socket")
+	}
+	// Zero bytes: just the startup.
+	if z := elapsed(false, 0); z != sim.Duration(c.Mem.CopyStartup) {
+		t.Fatalf("zero-byte copy %v, want startup %v", z, c.Mem.CopyStartup)
+	}
+}
+
+func TestMemChannelConcurrentCopiesScale(t *testing.T) {
+	// Fig 1a property: many concurrent intra-node copies proceed nearly
+	// in parallel because aggregate memory bandwidth far exceeds one
+	// core's streaming rate.
+	c := topology.ClusterA()
+	elapsed := func(copiers int) sim.Duration {
+		k := sim.NewKernel()
+		fn := NewFlowNet(k)
+		m := NewMemChannel(k, fn, c, 0)
+		for i := 0; i < copiers; i++ {
+			k.Spawn("copier", func(p *sim.Proc) { m.Copy(p, false, 1<<20) })
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Duration(k.Now())
+	}
+	t1, t14 := elapsed(1), elapsed(14)
+	if float64(t14) > float64(t1)*1.2 {
+		t.Fatalf("14 concurrent copies took %v vs single %v: shm concurrency broken", t14, t1)
+	}
+}
+
+func TestMemChannelAggregateBandwidthBinds(t *testing.T) {
+	// Enough concurrent copiers must eventually saturate the node's
+	// aggregate memory bandwidth.
+	c := topology.ClusterA()
+	copiers := int(c.Mem.AggregateBW/c.Mem.CopyRate) * 2 // 2x oversubscribed
+	k := sim.NewKernel()
+	fn := NewFlowNet(k)
+	m := NewMemChannel(k, fn, c, 0)
+	const bytes = 1 << 20
+	for i := 0; i < copiers; i++ {
+		k.Spawn("copier", func(p *sim.Proc) { m.Copy(p, false, bytes) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	minTime := sim.DurationOfSeconds(float64(copiers*bytes)/c.Mem.AggregateBW) + c.Mem.CopyStartup
+	if sim.Duration(k.Now()) < minTime-sim.Microsecond {
+		t.Fatalf("%d copies finished at %v, faster than memory bandwidth allows (%v)",
+			copiers, k.Now(), minTime)
+	}
+}
+
+func TestSharpUnavailableOnNonMellanox(t *testing.T) {
+	k := sim.NewKernel()
+	for _, c := range []*topology.Cluster{topology.ClusterB(), topology.ClusterC(), topology.ClusterD()} {
+		if _, err := NewSharp(k, c); !errors.Is(err, ErrSharpUnavailable) {
+			t.Errorf("%s: NewSharp err = %v, want ErrSharpUnavailable", c.Name, err)
+		}
+	}
+}
+
+func TestSharpTreeDepth(t *testing.T) {
+	k := sim.NewKernel()
+	s, err := NewSharp(k, topology.ClusterA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ nodes, depth int }{
+		{1, 1}, {2, 1}, {16, 1}, {17, 2}, {256, 2}, {257, 3},
+	}
+	for _, c := range cases {
+		if got := s.TreeDepth(c.nodes); got != c.depth {
+			t.Errorf("TreeDepth(%d) = %d, want %d", c.nodes, got, c.depth)
+		}
+	}
+}
+
+func TestSharpGroupLimits(t *testing.T) {
+	k := sim.NewKernel()
+	s, err := NewSharp(k, topology.ClusterA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := s.Profile().MaxGroups
+	groups := make([]*SharpGroup, 0, max)
+	for i := 0; i < max; i++ {
+		g, err := s.NewGroup(16, 1)
+		if err != nil {
+			t.Fatalf("group %d: %v", i, err)
+		}
+		groups = append(groups, g)
+	}
+	if _, err := s.NewGroup(16, 1); !errors.Is(err, ErrSharpGroups) {
+		t.Fatalf("over-limit NewGroup err = %v, want ErrSharpGroups", err)
+	}
+	groups[0].Release()
+	if _, err := s.NewGroup(16, 1); err != nil {
+		t.Fatalf("NewGroup after Release: %v", err)
+	}
+	if _, err := s.NewGroup(0, 1); err == nil {
+		t.Fatal("NewGroup(0 nodes) accepted")
+	}
+}
+
+func TestSharpAllreduceCompletesAllLeaves(t *testing.T) {
+	k := sim.NewKernel()
+	s, err := NewSharp(k, topology.ClusterA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nodes = 16
+	g, err := s.NewGroup(nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish := make([]sim.Time, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		k.Spawn("leaf", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(i) * sim.Microsecond) // staggered arrival
+			if _, err := g.Allreduce(p, 256, nil, nil); err != nil {
+				t.Error(err)
+			}
+			finish[i] = p.Now()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// All leaves complete at the same instant: last arrival (15us) plus
+	// the op latency.
+	want := sim.Time(15 * sim.Microsecond).Add(s.OpLatency(nodes, 256))
+	for i, f := range finish {
+		if f != want {
+			t.Fatalf("leaf %d finished at %v, want %v", i, f, want)
+		}
+	}
+	if g.Stats.Ops != 1 {
+		t.Fatalf("ops = %d, want 1", g.Stats.Ops)
+	}
+}
+
+func TestSharpPayloadLimit(t *testing.T) {
+	k := sim.NewKernel()
+	s, _ := NewSharp(k, topology.ClusterA())
+	g, _ := s.NewGroup(2, 1)
+	var gotErr error
+	k.Spawn("leaf0", func(p *sim.Proc) {
+		_, gotErr = g.Allreduce(p, s.MaxPayload()+1, nil, nil)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrSharpPayload) {
+		t.Fatalf("err = %v, want ErrSharpPayload", gotErr)
+	}
+}
+
+func TestSharpOutstandingOpsSerialize(t *testing.T) {
+	// More concurrent groups than MaxOutstanding: operations must
+	// serialize, so total time grows past a single op's latency.
+	k := sim.NewKernel()
+	s, _ := NewSharp(k, topology.ClusterA())
+	maxOps := s.Profile().MaxOutstanding
+	groups := maxOps * 3
+	const nodes = 4
+	opLat := s.OpLatency(nodes, 1024)
+	for gi := 0; gi < groups; gi++ {
+		g, err := s.NewGroup(nodes, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for leaf := 0; leaf < nodes; leaf++ {
+			k.Spawn("leaf", func(p *sim.Proc) {
+				if _, err := g.Allreduce(p, 1024, nil, nil); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rounds := groups / maxOps
+	want := sim.Time(sim.Duration(rounds) * opLat)
+	if k.Now() != want {
+		t.Fatalf("finished at %v, want %v (%d serialized rounds)", k.Now(), want, rounds)
+	}
+}
+
+func TestSharpSmallBeatsLargeScaling(t *testing.T) {
+	// OpLatency must grow superlinearly enough with payload that the
+	// host-based design wins past a few KB (Fig 8 crossover).
+	k := sim.NewKernel()
+	s, _ := NewSharp(k, topology.ClusterA())
+	l8 := s.OpLatency(16, 8)
+	l4k := s.OpLatency(16, 4096)
+	if l4k < 3*l8 {
+		t.Fatalf("4KB op (%v) should cost much more than 8B op (%v)", l4k, l8)
+	}
+}
+
+func TestNetworkReport(t *testing.T) {
+	k := sim.NewKernel()
+	fn := NewFlowNet(k)
+	c := topology.ClusterB()
+	net := NewNetwork(k, fn, c, 2)
+	src, dst := net.Endpoint(0, 0), net.Endpoint(1, 0)
+	k.Spawn("driver", func(p *sim.Proc) {
+		var done sim.Signal
+		net.StartTransfer(src, dst, 1<<20, func() { done.Fire() })
+		done.Wait(p, "arrive")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := net.Report()
+	if len(rep) != 4 { // 2 nodes x (up, down), no core on IB
+		t.Fatalf("report has %d links, want 4", len(rep))
+	}
+	var upBytes, downBytes int64
+	for _, lr := range rep {
+		switch lr.Name {
+		case "n0.h0.up":
+			upBytes = lr.Bytes
+		case "n1.h0.down":
+			downBytes = lr.Bytes
+		}
+	}
+	if upBytes != 1<<20 || downBytes != 1<<20 {
+		t.Fatalf("up %d / down %d bytes, want 1MiB each", upBytes, downBytes)
+	}
+	// Cluster D has a core stage.
+	netD := NewNetwork(sim.NewKernel(), NewFlowNet(sim.NewKernel()), topology.ClusterD(), 2)
+	if got := len(netD.Report()); got != 5 {
+		t.Fatalf("cluster D report has %d links, want 5 (incl. core)", got)
+	}
+}
+
+func TestMemChannelReport(t *testing.T) {
+	k := sim.NewKernel()
+	fn := NewFlowNet(k)
+	m := NewMemChannel(k, fn, topology.ClusterA(), 0)
+	k.Spawn("copier", func(p *sim.Proc) { m.Copy(p, false, 4096) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lr := m.Report()
+	if lr.Bytes != 4096 || lr.Busy <= 0 {
+		t.Fatalf("mem report %+v", lr)
+	}
+}

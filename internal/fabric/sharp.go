@@ -1,0 +1,191 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dpml/internal/sim"
+	"dpml/internal/topology"
+)
+
+// Errors reported by the SHArP model.
+var (
+	// ErrSharpUnavailable is returned when the cluster's fabric has no
+	// aggregation support.
+	ErrSharpUnavailable = errors.New("fabric: SHArP not available on this fabric")
+	// ErrSharpGroups is returned when MaxGroups SHArP communicators
+	// already exist.
+	ErrSharpGroups = errors.New("fabric: SHArP group limit reached")
+	// ErrSharpPayload is returned when an operation exceeds MaxPayload.
+	ErrSharpPayload = errors.New("fabric: SHArP payload too large")
+)
+
+// Sharp models the fabric-wide SHArP capability: a bounded pool of
+// aggregation groups and, per group, a bounded number of outstanding
+// operations (the paper: "SHArP can support only a small number of
+// concurrent operations and SHArP communicators").
+type Sharp struct {
+	k      *sim.Kernel
+	prof   topology.SharpProfile
+	link   float64 // leaf injection rate, bytes/sec
+	groups int
+	ost    *sim.Semaphore // fabric-wide outstanding-operation slots
+}
+
+// NewSharp builds the SHArP model for a cluster, or returns
+// ErrSharpUnavailable when the fabric has none.
+func NewSharp(k *sim.Kernel, c *topology.Cluster) (*Sharp, error) {
+	if !c.Sharp.Available {
+		return nil, ErrSharpUnavailable
+	}
+	return &Sharp{
+		k:    k,
+		prof: c.Sharp,
+		link: c.Net.LinkBandwidth,
+		ost:  sim.NewSemaphore("sharp-ost", c.Sharp.MaxOutstanding),
+	}, nil
+}
+
+// Profile returns the SHArP parameters in force.
+func (s *Sharp) Profile() topology.SharpProfile { return s.prof }
+
+// MaxPayload returns the largest message one operation may carry.
+func (s *Sharp) MaxPayload() int { return s.prof.MaxPayload }
+
+// TreeDepth returns the aggregation tree depth for the given number of
+// participating nodes: ceil(log_radix(nodes)), minimum 1.
+func (s *Sharp) TreeDepth(nodes int) int {
+	if nodes <= 1 {
+		return 1
+	}
+	d := int(math.Ceil(math.Log(float64(nodes)) / math.Log(float64(s.prof.Radix))))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// OpLatency returns the modelled time for one in-network allreduce of
+// bytes across nodes leaves, measured from the moment the last leaf's
+// data reaches its switch: injection of the payload, per-level switch
+// reduction on the way up, and the latency of traversing the tree up and
+// down.
+func (s *Sharp) OpLatency(nodes int, bytes int) sim.Duration {
+	depth := s.TreeDepth(nodes)
+	d := s.prof.OpOverhead + sim.Duration(2*depth)*s.prof.HopLatency
+	d += sim.TransferTime(int64(bytes), s.link)                                        // leaf injection
+	d += sim.Duration(depth) * sim.TransferTime(int64(bytes), s.prof.SwitchReduceRate) // per-level reduce
+	return d
+}
+
+// NewGroup allocates a SHArP communicator spanning the given compute
+// nodes with leadersPerNode calling leaders on each (node-leader designs
+// use 1, socket-leader designs one per socket), or returns ErrSharpGroups
+// when the fabric-wide group budget is exhausted. The aggregation tree's
+// depth is set by the node count — co-located leaders attach to the same
+// leaf switch. Groups are never freed in our experiments (matching how
+// MPI communicators hold them for the job lifetime); Release exists for
+// completeness.
+func (s *Sharp) NewGroup(nodes, leadersPerNode int) (*SharpGroup, error) {
+	if s.groups >= s.prof.MaxGroups {
+		return nil, ErrSharpGroups
+	}
+	if nodes <= 0 || leadersPerNode <= 0 {
+		return nil, fmt.Errorf("fabric: SHArP group with %d nodes x %d leaders", nodes, leadersPerNode)
+	}
+	s.groups++
+	return &SharpGroup{sharp: s, nodes: nodes, members: nodes * leadersPerNode}, nil
+}
+
+// Groups returns the number of live SHArP groups.
+func (s *Sharp) Groups() int { return s.groups }
+
+// SharpGroup is one SHArP communicator: the set of leaf nodes plus the
+// operation-slot semaphore bounding concurrency.
+type SharpGroup struct {
+	sharp   *Sharp
+	nodes   int
+	members int
+	cur     *sharpOp // operation currently collecting arrivals
+
+	// Stats counts operations through this group.
+	Stats struct {
+		Ops uint64
+	}
+}
+
+// sharpOp is one collective operation's state. It is separate from the
+// group so that a subsequent operation can begin collecting arrivals
+// while earlier waiters are still being rescheduled.
+type sharpOp struct {
+	bytes   int
+	arrived int
+	acc     any
+	result  any
+	waiters sim.Signal
+}
+
+// Nodes returns the number of leaf nodes in the group.
+func (g *SharpGroup) Nodes() int { return g.nodes }
+
+// Members returns the number of calling leaders across all nodes.
+func (g *SharpGroup) Members() int { return g.members }
+
+// Release frees the group's slot in the fabric-wide budget.
+func (g *SharpGroup) Release() {
+	if g.sharp.groups > 0 {
+		g.sharp.groups--
+	}
+}
+
+// Allreduce performs one in-network reduction of bytes. Every leaf's
+// calling proc (one leader per leaf) must call it; all callers return at
+// the operation's completion time with the reduced result. The operation
+// occupies one outstanding-operation slot from when the last caller
+// arrives until completion, so concurrent operations beyond MaxOutstanding
+// serialize — this is the scalability ceiling that rules out
+// per-DPML-leader SHArP (Section 4.3).
+//
+// contrib is this leaf's payload; reduce folds two payloads (the switch's
+// arithmetic). Both may be nil for timing-only (phantom) runs, in which
+// case the returned result is nil. Because the reduction happens in the
+// switches, no host compute time is charged.
+func (g *SharpGroup) Allreduce(p *sim.Proc, bytes int, contrib any, reduce func(acc, x any) any) (any, error) {
+	if bytes > g.sharp.prof.MaxPayload {
+		return nil, ErrSharpPayload
+	}
+	if g.cur == nil {
+		g.cur = &sharpOp{bytes: bytes, acc: contrib}
+	} else {
+		op := g.cur
+		if bytes != op.bytes {
+			return nil, fmt.Errorf("fabric: SHArP leaves disagree on payload (%d vs %d bytes)", bytes, op.bytes)
+		}
+		if reduce != nil && contrib != nil {
+			if op.acc == nil {
+				op.acc = contrib
+			} else {
+				op.acc = reduce(op.acc, contrib)
+			}
+		}
+	}
+	op := g.cur
+	op.arrived++
+	if op.arrived < g.members {
+		op.waiters.Wait(p, "sharp allreduce")
+		return op.result, nil
+	}
+	// Last arriver drives the operation; detach it so the next one can
+	// start collecting while this one runs. The slot is fabric-wide:
+	// concurrent operations from other groups contend for it.
+	g.cur = nil
+	g.sharp.ost.Acquire(p)
+	g.Stats.Ops++
+	p.Sleep(g.sharp.OpLatency(g.nodes, bytes))
+	g.sharp.ost.Release()
+	op.result = op.acc
+	op.acc = nil
+	op.waiters.FireAll()
+	return op.result, nil
+}

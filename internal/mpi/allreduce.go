@@ -1,0 +1,260 @@
+package mpi
+
+import "fmt"
+
+// Algorithm selects a flat allreduce implementation. These are the
+// standard algorithms production MPI libraries choose between (Thakur et
+// al.) and the building blocks of both the paper's baselines and DPML's
+// inter-leader phase.
+type Algorithm string
+
+// Supported flat allreduce algorithms.
+const (
+	// AlgRecursiveDoubling: ceil(lg p) rounds exchanging the full
+	// vector; latency-optimal, used for small messages.
+	AlgRecursiveDoubling Algorithm = "recursive-doubling"
+	// AlgRing: ring reduce-scatter + ring allgather; bandwidth-optimal
+	// (2n transferred per rank) with 2(p-1) rounds.
+	AlgRing Algorithm = "ring"
+	// AlgRabenseifner: recursive-halving reduce-scatter + recursive
+	// doubling allgather; bandwidth-optimal with 2 lg p rounds.
+	AlgRabenseifner Algorithm = "rabenseifner"
+	// AlgReduceBcast: binomial reduce to rank 0 followed by binomial
+	// broadcast.
+	AlgReduceBcast Algorithm = "reduce-bcast"
+)
+
+// FlatAlgorithms lists every Algorithm value.
+func FlatAlgorithms() []Algorithm {
+	return []Algorithm{AlgRecursiveDoubling, AlgRing, AlgRabenseifner, AlgReduceBcast}
+}
+
+// Allreduce reduces vec in place across the communicator with the chosen
+// algorithm: on return every rank holds the elementwise op-reduction of
+// all ranks' inputs.
+func (r *Rank) Allreduce(c *Comm, alg Algorithm, op *Op, vec *Vector) {
+	base := c.CollTagBase(r)
+	if c.Size() == 1 {
+		return
+	}
+	switch alg {
+	case AlgRecursiveDoubling:
+		r.allreduceRD(c, op, vec, base)
+	case AlgRing:
+		r.allreduceRing(c, op, vec, base)
+	case AlgRabenseifner:
+		r.allreduceRab(c, op, vec, base)
+	case AlgReduceBcast:
+		r.allreduceRedBcast(c, op, vec, base)
+	default:
+		panic(fmt.Sprintf("mpi: unknown allreduce algorithm %q", alg))
+	}
+}
+
+// LargestPow2 returns the largest power of two <= p (p >= 1).
+func LargestPow2(p int) int {
+	k := 1
+	for k*2 <= p {
+		k *= 2
+	}
+	return k
+}
+
+// FoldRank maps a rank in the folded power-of-two group back to its comm
+// rank, given rem = p - pof2 (MPICH's non-power-of-two scheme: the first
+// 2*rem ranks fold pairwise onto the odd member).
+func FoldRank(newRank, rem int) int {
+	if newRank < rem {
+		return newRank*2 + 1
+	}
+	return newRank + rem
+}
+
+// FoldIn merges the first 2*rem ranks of c pairwise (even sends to odd)
+// and returns this rank's rank within the folded power-of-two group, or
+// -1 for ranks that go idle until FoldOut. It uses tag base+0; rem must
+// be Size() - LargestPow2(Size()). FoldIn/FoldOut are exported so that
+// algorithm extensions (e.g. pipelined inter-leader allreduce) can handle
+// non-power-of-two groups the same way the built-in algorithms do.
+func (r *Rank) FoldIn(c *Comm, op *Op, vec *Vector, rem, base int) int {
+	me := c.mustRank(r)
+	if me >= 2*rem {
+		return me - rem
+	}
+	if me%2 == 0 {
+		r.Send(c, me+1, base, vec)
+		return -1
+	}
+	tmp := vec.Clone()
+	r.Recv(c, me-1, base, tmp)
+	r.Reduce(op, vec, tmp)
+	return me / 2
+}
+
+// FoldOut delivers the final result back to the ranks idled by FoldIn.
+// It uses tag base+FoldOutTag.
+const FoldOutTag = collSlots - 1
+
+func (r *Rank) FoldOut(c *Comm, vec *Vector, rem, base int) {
+	me := c.mustRank(r)
+	if me >= 2*rem {
+		return
+	}
+	if me%2 == 1 {
+		r.Send(c, me-1, base+FoldOutTag, vec)
+	} else {
+		r.Recv(c, me+1, base+FoldOutTag, vec)
+	}
+}
+
+func (r *Rank) allreduceRD(c *Comm, op *Op, vec *Vector, base int) {
+	p := c.Size()
+	pof2 := LargestPow2(p)
+	rem := p - pof2
+	newRank := r.FoldIn(c, op, vec, rem, base)
+	if newRank >= 0 {
+		tmp := vec.Clone()
+		round := 1
+		for mask := 1; mask < pof2; mask <<= 1 {
+			dst := FoldRank(newRank^mask, rem)
+			r.SendRecv(c, dst, base+round, vec, dst, base+round, tmp)
+			r.Reduce(op, vec, tmp)
+			round++
+		}
+	}
+	r.FoldOut(c, vec, rem, base)
+}
+
+// BlockPartition splits n elements into p blocks as evenly as possible
+// (earlier blocks take the remainder) and returns counts and
+// displacements.
+func BlockPartition(n, p int) (cnts, displs []int) {
+	cnts = make([]int, p)
+	displs = make([]int, p)
+	q, rem := n/p, n%p
+	off := 0
+	for i := 0; i < p; i++ {
+		cnts[i] = q
+		if i < rem {
+			cnts[i]++
+		}
+		displs[i] = off
+		off += cnts[i]
+	}
+	return cnts, displs
+}
+
+// wrapTag keeps per-round tags inside one collective's tag window.
+// Rounds that collide (collSlots-1 apart) are never simultaneously in
+// flight: every algorithm here completes a round's exchange with a
+// partner before reusing that distance.
+func wrapTag(base, round int) int {
+	return base + round%(collSlots-1)
+}
+
+// blocks returns the contiguous view of blocks [lo, hi) of v.
+func blocks(v *Vector, cnts, displs []int, lo, hi int) *Vector {
+	if lo == hi {
+		return v.Slice(displs[lo], displs[lo])
+	}
+	return v.Slice(displs[lo], displs[hi-1]+cnts[hi-1])
+}
+
+func (r *Rank) allreduceRing(c *Comm, op *Op, vec *Vector, base int) {
+	me := c.mustRank(r)
+	p := c.Size()
+	cnts, displs := BlockPartition(vec.Len(), p)
+	right := (me + 1) % p
+	left := (me - 1 + p) % p
+	maxCnt := cnts[0]
+	tmp := vec.Slice(0, maxCnt).Clone()
+
+	// Ring reduce-scatter: after p-1 steps rank me holds the fully
+	// reduced block (me+1) mod p.
+	for s := 0; s < p-1; s++ {
+		sb := (me - s + p) % p
+		rb := (me - s - 1 + p) % p
+		recvView := tmp.Slice(0, cnts[rb])
+		r.SendRecv(c,
+			right, wrapTag(base, s), blocks(vec, cnts, displs, sb, sb+1),
+			left, wrapTag(base, s), recvView)
+		r.Reduce(op, blocks(vec, cnts, displs, rb, rb+1), recvView)
+	}
+	// Ring allgather: circulate the completed blocks.
+	for s := 0; s < p-1; s++ {
+		sb := (me + 1 - s + p) % p
+		rb := (me - s + p) % p
+		r.SendRecv(c,
+			right, wrapTag(base, p+s), blocks(vec, cnts, displs, sb, sb+1),
+			left, wrapTag(base, p+s), blocks(vec, cnts, displs, rb, rb+1))
+	}
+}
+
+func (r *Rank) allreduceRab(c *Comm, op *Op, vec *Vector, base int) {
+	p := c.Size()
+	pof2 := LargestPow2(p)
+	rem := p - pof2
+	newRank := r.FoldIn(c, op, vec, rem, base)
+	if newRank >= 0 {
+		cnts, displs := BlockPartition(vec.Len(), pof2)
+		tmp := vec.Clone()
+		lo, hi := 0, pof2
+		type halving struct {
+			dst                          int
+			sentLo, sentHi, kepLo, kepHi int
+		}
+		var steps []halving
+		round := 1
+		// Recursive-halving reduce-scatter.
+		for mask := 1; mask < pof2; mask <<= 1 {
+			newDst := newRank ^ mask
+			dst := FoldRank(newDst, rem)
+			mid := (lo + hi) / 2
+			var st halving
+			st.dst = dst
+			if newRank < newDst {
+				st.sentLo, st.sentHi, st.kepLo, st.kepHi = mid, hi, lo, mid
+			} else {
+				st.sentLo, st.sentHi, st.kepLo, st.kepHi = lo, mid, mid, hi
+			}
+			recvView := blocks(tmp, cnts, displs, st.kepLo, st.kepHi)
+			r.SendRecv(c,
+				dst, base+round, blocks(vec, cnts, displs, st.sentLo, st.sentHi),
+				dst, base+round, recvView)
+			r.Reduce(op, blocks(vec, cnts, displs, st.kepLo, st.kepHi), recvView)
+			steps = append(steps, st)
+			lo, hi = st.kepLo, st.kepHi
+			round++
+		}
+		// Recursive-doubling allgather: undo the halvings in reverse.
+		for i := len(steps) - 1; i >= 0; i-- {
+			st := steps[i]
+			r.SendRecv(c,
+				st.dst, base+round, blocks(vec, cnts, displs, st.kepLo, st.kepHi),
+				st.dst, base+round, blocks(vec, cnts, displs, st.sentLo, st.sentHi))
+			round++
+		}
+	}
+	r.FoldOut(c, vec, rem, base)
+}
+
+func (r *Rank) allreduceRedBcast(c *Comm, op *Op, vec *Vector, base int) {
+	me := c.mustRank(r)
+	p := c.Size()
+	// Binomial reduce to comm rank 0.
+	tmp := vec.Clone()
+	round := 0
+	for mask := 1; mask < p; mask <<= 1 {
+		if me&mask != 0 {
+			r.Send(c, me^mask, base+round, vec)
+			break
+		}
+		if partner := me | mask; partner < p {
+			r.Recv(c, partner, base+round, tmp)
+			r.Reduce(op, vec, tmp)
+		}
+		round++
+	}
+	// Binomial broadcast of the result (consumes its own tag window).
+	r.Bcast(c, 0, vec)
+}

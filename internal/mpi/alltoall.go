@@ -1,0 +1,26 @@
+package mpi
+
+import "fmt"
+
+// Alltoall performs a personalized all-to-all exchange: block i of vec
+// (p equal blocks) goes to comm rank i; out collects one block from each
+// rank, in comm-rank order. The implementation is the pairwise-exchange
+// algorithm (p-1 steps at rotating distances), the standard choice for
+// long messages.
+func (r *Rank) Alltoall(c *Comm, vec, out *Vector) {
+	me := c.mustRank(r)
+	p := c.Size()
+	if vec.Len()%p != 0 || out.Len() != vec.Len() {
+		panic(fmt.Sprintf("mpi: Alltoall shapes: in %d, out %d, p %d", vec.Len(), out.Len(), p))
+	}
+	base := c.CollTagBase(r)
+	bl := vec.Len() / p
+	out.Slice(me*bl, (me+1)*bl).CopyFrom(vec.Slice(me*bl, (me+1)*bl))
+	for step := 1; step < p; step++ {
+		dst := (me + step) % p
+		src := (me - step + p) % p
+		r.SendRecv(c,
+			dst, wrapTag(base, step), vec.Slice(dst*bl, (dst+1)*bl),
+			src, wrapTag(base, step), out.Slice(src*bl, (src+1)*bl))
+	}
+}

@@ -1,0 +1,184 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comm is a communicator: an ordered group of global ranks. Comm rank i is
+// the i-th entry of the group. Communicators are immutable; build them
+// with World.NewComm or the splitting helpers.
+type Comm struct {
+	w     *World
+	id    int
+	ranks []int       // comm rank -> global rank
+	index map[int]int // global rank -> comm rank
+	seq   []uint32    // per comm-rank collective sequence number
+}
+
+// NewComm builds a communicator from global ranks (in comm-rank order).
+// Ranks must be distinct and valid.
+func (w *World) NewComm(ranks []int) *Comm {
+	if len(ranks) == 0 {
+		panic("mpi: empty communicator")
+	}
+	c := &Comm{
+		w:     w,
+		id:    w.nextCID,
+		ranks: append([]int(nil), ranks...),
+		index: make(map[int]int, len(ranks)),
+		seq:   make([]uint32, len(ranks)),
+	}
+	w.nextCID++
+	for i, g := range c.ranks {
+		if g < 0 || g >= len(w.ranks) {
+			panic(fmt.Sprintf("mpi: communicator rank %d out of range", g))
+		}
+		if _, dup := c.index[g]; dup {
+			panic(fmt.Sprintf("mpi: duplicate rank %d in communicator", g))
+		}
+		c.index[g] = i
+	}
+	return c
+}
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Global returns the global rank of comm rank i.
+func (c *Comm) Global(i int) int { return c.ranks[i] }
+
+// RankOf returns r's comm rank, or -1 if r is not a member.
+func (c *Comm) RankOf(r *Rank) int {
+	if i, ok := c.index[r.rank]; ok {
+		return i
+	}
+	return -1
+}
+
+// Contains reports whether the global rank is a member.
+func (c *Comm) Contains(global int) bool {
+	_, ok := c.index[global]
+	return ok
+}
+
+// mustRank returns r's comm rank, panicking when r is not a member —
+// collective calls on a communicator one is not part of are programming
+// errors.
+func (c *Comm) mustRank(r *Rank) int {
+	i := c.RankOf(r)
+	if i < 0 {
+		panic(fmt.Sprintf("mpi: rank %d is not in communicator %d", r.rank, c.id))
+	}
+	return i
+}
+
+// Collective tag management: each collective invocation on a communicator
+// consumes one sequence number per participating rank. Because every rank
+// calls the same collectives in the same order (MPI semantics), the
+// per-rank counters stay in lockstep and the derived tag space never
+// collides between consecutive operations, even with messages in flight.
+const (
+	// userTagLimit is the largest tag application point-to-point
+	// messages may use; collectives tag above it.
+	userTagLimit = 1 << 20
+	// collSlots is how many distinct tags one collective invocation may
+	// use internally (rounds x sub-channels). Algorithms whose round
+	// count can exceed it (ring, pairwise exchange on very large
+	// communicators) wrap their round tags with wrapTag.
+	collSlots = 1 << 14
+	// collWindow bounds how many consecutive collectives can have
+	// messages in flight simultaneously before tags wrap.
+	collWindow = 1 << 10
+)
+
+// CollTagBase allocates the tag window for the calling rank's next
+// collective on this communicator. Built-in collectives call it once per
+// invocation; exported so algorithm extensions can claim a window of
+// their own (the window spans collSlots tags).
+func (c *Comm) CollTagBase(r *Rank) int {
+	i := c.mustRank(r)
+	s := c.seq[i]
+	c.seq[i]++
+	return userTagLimit + int(s%collWindow)*collSlots
+}
+
+// SplitByNode partitions the world communicator into one communicator per
+// node, returning them indexed by node. Within each, comm rank order
+// follows local rank order (the "shared memory communicator" of
+// Section 2.1).
+func (w *World) SplitByNode() []*Comm {
+	out := make([]*Comm, w.Job.NodesUsed)
+	for n := range out {
+		out[n] = w.NewComm(w.Job.RanksOnNode(n))
+	}
+	return out
+}
+
+// LeaderComm builds the communicator of the local-rank-localIdx process of
+// every node (the "leader communicator" containing one same-index leader
+// per node).
+func (w *World) LeaderComm(localIdx int) *Comm {
+	if localIdx < 0 || localIdx >= w.Job.PPN {
+		panic(fmt.Sprintf("mpi: leader index %d out of range [0,%d)", localIdx, w.Job.PPN))
+	}
+	ranks := make([]int, w.Job.NodesUsed)
+	for n := range ranks {
+		ranks[n] = n*w.Job.PPN + localIdx
+	}
+	return w.NewComm(ranks)
+}
+
+// internComm returns the communicator for the given global-rank group,
+// creating it on first use. Interning guarantees that every rank
+// deriving the same group (e.g. through Split) shares one communicator
+// object, so their messages match.
+func (w *World) internComm(ranks []int) *Comm {
+	key := fmt.Sprint(ranks)
+	if w.commCache == nil {
+		w.commCache = make(map[string]*Comm)
+	}
+	if c, ok := w.commCache[key]; ok {
+		return c
+	}
+	c := w.NewComm(ranks)
+	w.commCache[key] = c
+	return c
+}
+
+// Split partitions the communicator like MPI_Comm_split: every member
+// calls it with its own color and key; ranks sharing a color form a new
+// communicator ordered by (key, parent comm rank). The exchange of
+// (color, key) pairs is a real allgather over the parent communicator
+// (as in MPI implementations), so Split has collective cost. A negative
+// color (MPI_UNDEFINED) yields nil.
+func (c *Comm) Split(r *Rank, color, key int) *Comm {
+	c.mustRank(r)
+	p := c.Size()
+	mine := NewVector(Int64, 2)
+	mine.Set(0, float64(color))
+	mine.Set(1, float64(key))
+	all := NewVector(Int64, 2*p)
+	r.Allgather(c, mine, all)
+	if color < 0 {
+		return nil
+	}
+	type member struct{ key, commRank int }
+	var group []member
+	for i := 0; i < p; i++ {
+		if int(all.At(2*i)) == color {
+			group = append(group, member{int(all.At(2*i + 1)), i})
+		}
+	}
+	sort.Slice(group, func(a, b int) bool {
+		if group[a].key != group[b].key {
+			return group[a].key < group[b].key
+		}
+		return group[a].commRank < group[b].commRank
+	})
+	ranks := make([]int, len(group))
+	for i, m := range group {
+		ranks[i] = c.Global(m.commRank)
+	}
+	return c.w.internComm(ranks)
+}

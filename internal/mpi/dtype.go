@@ -1,0 +1,232 @@
+package mpi
+
+import "fmt"
+
+// Datatype identifies the element type of a message buffer, mirroring the
+// MPI predefined datatypes the paper's experiments use (MPI_FLOAT with
+// MPI_SUM for the microbenchmarks, MPI_DOUBLE for HPCG's DDOT).
+type Datatype uint8
+
+// Supported datatypes.
+const (
+	Float32 Datatype = iota
+	Float64
+	Int32
+	Int64
+)
+
+// Size returns the element size in bytes.
+func (d Datatype) Size() int {
+	switch d {
+	case Float32, Int32:
+		return 4
+	case Float64, Int64:
+		return 8
+	}
+	panic(fmt.Sprintf("mpi: unknown datatype %d", d))
+}
+
+func (d Datatype) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	}
+	return fmt.Sprintf("datatype(%d)", d)
+}
+
+// Op is a reduction operation. The predefined ops (Sum, Prod, Max, Min)
+// work on every datatype; user-defined ops are built with NewUserOp.
+type Op struct {
+	name string
+	// kernels; nil entries mean "unsupported for this datatype".
+	f32 func(dst, src []float32)
+	f64 func(dst, src []float64)
+	i32 func(dst, src []int32)
+	i64 func(dst, src []int64)
+	// commutative reports whether the op commutes; all our algorithms
+	// require commutativity (like MPI's predefined ops have).
+	commutative bool
+}
+
+// Name returns the op's label.
+func (o *Op) Name() string { return o.name }
+
+// Commutative reports whether the operation is commutative.
+func (o *Op) Commutative() bool { return o.commutative }
+
+// NewUserOp builds a user-defined elementwise reduction over float64
+// buffers (the only datatype user ops must support, matching how the
+// paper's applications use allreduce). f receives the accumulator and the
+// incoming element and returns the new accumulator value.
+func NewUserOp(name string, commutative bool, f func(acc, in float64) float64) *Op {
+	return &Op{
+		name:        name,
+		commutative: commutative,
+		f64: func(dst, src []float64) {
+			for i := range dst {
+				dst[i] = f(dst[i], src[i])
+			}
+		},
+	}
+}
+
+// Predefined reduction operations.
+var (
+	Sum = &Op{
+		name:        "sum",
+		commutative: true,
+		f32: func(d, s []float32) {
+			for i := range d {
+				d[i] += s[i]
+			}
+		},
+		f64: func(d, s []float64) {
+			for i := range d {
+				d[i] += s[i]
+			}
+		},
+		i32: func(d, s []int32) {
+			for i := range d {
+				d[i] += s[i]
+			}
+		},
+		i64: func(d, s []int64) {
+			for i := range d {
+				d[i] += s[i]
+			}
+		},
+	}
+	Prod = &Op{
+		name:        "prod",
+		commutative: true,
+		f32: func(d, s []float32) {
+			for i := range d {
+				d[i] *= s[i]
+			}
+		},
+		f64: func(d, s []float64) {
+			for i := range d {
+				d[i] *= s[i]
+			}
+		},
+		i32: func(d, s []int32) {
+			for i := range d {
+				d[i] *= s[i]
+			}
+		},
+		i64: func(d, s []int64) {
+			for i := range d {
+				d[i] *= s[i]
+			}
+		},
+	}
+	Max = &Op{
+		name:        "max",
+		commutative: true,
+		f32: func(d, s []float32) {
+			for i := range d {
+				if s[i] > d[i] {
+					d[i] = s[i]
+				}
+			}
+		},
+		f64: func(d, s []float64) {
+			for i := range d {
+				if s[i] > d[i] {
+					d[i] = s[i]
+				}
+			}
+		},
+		i32: func(d, s []int32) {
+			for i := range d {
+				if s[i] > d[i] {
+					d[i] = s[i]
+				}
+			}
+		},
+		i64: func(d, s []int64) {
+			for i := range d {
+				if s[i] > d[i] {
+					d[i] = s[i]
+				}
+			}
+		},
+	}
+	Min = &Op{
+		name:        "min",
+		commutative: true,
+		f32: func(d, s []float32) {
+			for i := range d {
+				if s[i] < d[i] {
+					d[i] = s[i]
+				}
+			}
+		},
+		f64: func(d, s []float64) {
+			for i := range d {
+				if s[i] < d[i] {
+					d[i] = s[i]
+				}
+			}
+		},
+		i32: func(d, s []int32) {
+			for i := range d {
+				if s[i] < d[i] {
+					d[i] = s[i]
+				}
+			}
+		},
+		i64: func(d, s []int64) {
+			for i := range d {
+				if s[i] < d[i] {
+					d[i] = s[i]
+				}
+			}
+		},
+	}
+)
+
+// Apply reduces src into dst elementwise without charging any simulated
+// compute time — Rank.Reduce is the cost-charging wrapper; Apply alone is
+// for places where the arithmetic happens off-host (the SHArP switch
+// tree). Both vectors must have the same datatype and length; phantom
+// vectors reduce to a no-op.
+func (o *Op) Apply(dst, src *Vector) {
+	if dst.dtype != src.dtype {
+		panic(fmt.Sprintf("mpi: op %s on mismatched datatypes %v and %v", o.name, dst.dtype, src.dtype))
+	}
+	if dst.n != src.n {
+		panic(fmt.Sprintf("mpi: op %s on mismatched lengths %d and %d", o.name, dst.n, src.n))
+	}
+	if dst.phantom || src.phantom {
+		return
+	}
+	switch dst.dtype {
+	case Float32:
+		if o.f32 == nil {
+			panic(fmt.Sprintf("mpi: op %s unsupported for float32", o.name))
+		}
+		o.f32(dst.f32, src.f32)
+	case Float64:
+		if o.f64 == nil {
+			panic(fmt.Sprintf("mpi: op %s unsupported for float64", o.name))
+		}
+		o.f64(dst.f64, src.f64)
+	case Int32:
+		if o.i32 == nil {
+			panic(fmt.Sprintf("mpi: op %s unsupported for int32", o.name))
+		}
+		o.i32(dst.i32, src.i32)
+	case Int64:
+		if o.i64 == nil {
+			panic(fmt.Sprintf("mpi: op %s unsupported for int64", o.name))
+		}
+		o.i64(dst.i64, src.i64)
+	}
+}

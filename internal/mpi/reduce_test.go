@@ -1,0 +1,102 @@
+package mpi
+
+import (
+	"testing"
+
+	"dpml/internal/topology"
+)
+
+func TestReduceCollCorrect(t *testing.T) {
+	for _, tc := range []struct{ nodes, ppn, root, count int }{
+		{2, 1, 0, 10},
+		{3, 2, 0, 100},
+		{3, 2, 5, 100}, // non-zero root
+		{5, 1, 3, 33},  // non-power-of-two
+		{1, 1, 0, 5},   // singleton
+		{4, 2, 7, 1},
+	} {
+		w := smallWorld(t, topology.ClusterB(), tc.nodes, tc.ppn, Config{})
+		p := w.Job.NumProcs()
+		err := w.Run(func(r *Rank) error {
+			v := NewVector(Int64, tc.count)
+			for i := 0; i < tc.count; i++ {
+				v.Set(i, float64((r.Rank()+1)*(i+1)))
+			}
+			r.ReduceColl(w.CommWorld(), tc.root, Sum, v)
+			if r.Rank() == tc.root {
+				sumRanks := p * (p + 1) / 2
+				for i := 0; i < tc.count; i++ {
+					if v.At(i) != float64(sumRanks*(i+1)) {
+						t.Errorf("%+v: elem %d = %v, want %d", tc, i, v.At(i), sumRanks*(i+1))
+						return nil
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+	}
+}
+
+func TestReduceCollBadRootPanics(t *testing.T) {
+	w := smallWorld(t, topology.ClusterB(), 2, 1, Config{})
+	err := w.Run(func(r *Rank) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad root did not panic")
+			}
+		}()
+		r.ReduceColl(w.CommWorld(), 5, Sum, NewVector(Int64, 1))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterRecursiveHalving(t *testing.T) {
+	for _, shape := range []struct{ nodes, ppn int }{{2, 1}, {2, 2}, {4, 2}} {
+		w := smallWorld(t, topology.ClusterB(), shape.nodes, shape.ppn, Config{})
+		p := w.Job.NumProcs()
+		const bl = 3
+		err := w.Run(func(r *Rank) error {
+			in := NewVector(Int64, p*bl)
+			for i := 0; i < in.Len(); i++ {
+				in.Set(i, float64((r.Rank()+1)*(i+1)))
+			}
+			out := NewVector(Int64, bl)
+			r.ReduceScatter(w.CommWorld(), Sum, in, out)
+			me := w.CommWorld().RankOf(r)
+			sumRanks := p * (p + 1) / 2
+			for j := 0; j < bl; j++ {
+				want := float64(sumRanks * (me*bl + j + 1))
+				if out.At(j) != want {
+					t.Errorf("p=%d rank %d elem %d: got %v want %v", p, me, j, out.At(j), want)
+					return nil
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReduceScatterRejectsNonPowerOfTwo(t *testing.T) {
+	w := smallWorld(t, topology.ClusterB(), 3, 1, Config{})
+	err := w.Run(func(r *Rank) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-power-of-two size did not panic")
+			}
+		}()
+		r.ReduceScatter(w.CommWorld(), Sum, NewVector(Int64, 3), NewVector(Int64, 1))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package mpi
+
+import (
+	"fmt"
+
+	"dpml/internal/sim"
+	"dpml/internal/trace"
+)
+
+// Request tracks a non-blocking operation. Requests belong to the rank
+// that created them and may only be waited on by that rank (MPI
+// semantics).
+type Request struct {
+	owner *Rank
+	kind  string // "send" or "recv", for diagnostics
+	key   msgKey
+	vec   *Vector
+	done  bool
+	start sim.Time
+	peer  int // global rank of the other side (-1 if unknown)
+}
+
+func newRequest(owner *Rank, kind string, key msgKey, vec *Vector) *Request {
+	return &Request{
+		owner: owner, kind: kind, key: key, vec: vec,
+		start: owner.w.Kernel.Now(), peer: -1,
+	}
+}
+
+// Done reports whether the operation has completed.
+func (q *Request) Done() bool { return q.done }
+
+// complete marks the request done and wakes the owner if it is waiting on
+// any of its requests. Safe to call from event callbacks.
+func (q *Request) complete() {
+	if q.done {
+		panic(fmt.Sprintf("mpi: double completion of %s request %+v", q.kind, q.key))
+	}
+	q.done = true
+	if rec := q.owner.w.cfg.Trace; rec != nil {
+		kind, label := trace.KindSend, fmt.Sprintf("->%d", q.peer)
+		if q.kind == "recv" {
+			kind, label = trace.KindRecv, fmt.Sprintf("<-%d", q.peer)
+		}
+		rec.Add(trace.Event{
+			Rank: q.owner.rank, Kind: kind, Label: label,
+			Start: q.start, End: q.owner.w.Kernel.Now(), Bytes: q.vec.Bytes(),
+		})
+	}
+	q.owner.anyDone.FireAll()
+}
+
+// Wait blocks the owning rank until the request completes.
+func (r *Rank) Wait(q *Request) {
+	if q.owner != r {
+		panic("mpi: Wait on another rank's request")
+	}
+	for !q.done {
+		r.anyDone.Wait(r.proc, fmt.Sprintf("wait %s %+v", q.kind, q.key))
+	}
+}
+
+// WaitAll blocks until every request completes.
+func (r *Rank) WaitAll(reqs ...*Request) {
+	for _, q := range reqs {
+		r.Wait(q)
+	}
+}
+
+// WaitAny blocks until at least one incomplete request in reqs completes
+// and returns its index. Already-complete requests are returned
+// immediately (lowest index first). Nil entries are skipped; all-nil or
+// empty input panics, as it would deadlock.
+func (r *Rank) WaitAny(reqs []*Request) int {
+	for {
+		live := false
+		for i, q := range reqs {
+			if q == nil {
+				continue
+			}
+			if q.owner != r {
+				panic("mpi: WaitAny on another rank's request")
+			}
+			if q.done {
+				return i
+			}
+			live = true
+		}
+		if !live {
+			panic("mpi: WaitAny with no live requests")
+		}
+		r.anyDone.Wait(r.proc, "waitany")
+	}
+}

@@ -1,0 +1,57 @@
+package mpi
+
+import (
+	"testing"
+
+	"dpml/internal/topology"
+)
+
+func TestScanInclusive(t *testing.T) {
+	for _, shape := range []struct{ nodes, ppn int }{{1, 1}, {2, 1}, {2, 2}, {3, 2}, {5, 1}, {2, 4}} {
+		w := smallWorld(t, topology.ClusterB(), shape.nodes, shape.ppn, Config{})
+		err := w.Run(func(r *Rank) error {
+			c := w.CommWorld()
+			me := c.RankOf(r)
+			v := NewVector(Int64, 5)
+			for i := 0; i < v.Len(); i++ {
+				v.Set(i, float64((me+1)*(i+1)))
+			}
+			r.Scan(c, Sum, v)
+			// prefix sum over ranks 0..me of (k+1)*(i+1).
+			pre := (me + 1) * (me + 2) / 2
+			for i := 0; i < v.Len(); i++ {
+				want := float64(pre * (i + 1))
+				if v.At(i) != want {
+					t.Errorf("p=%d rank %d elem %d: got %v want %v",
+						c.Size(), me, i, v.At(i), want)
+					return nil
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScanMax(t *testing.T) {
+	w := smallWorld(t, topology.ClusterB(), 4, 1, Config{})
+	err := w.Run(func(r *Rank) error {
+		c := w.CommWorld()
+		me := c.RankOf(r)
+		v := NewVector(Float64, 1)
+		// Values 3, 1, 4, 1 -> running max 3, 3, 4, 4.
+		vals := []float64{3, 1, 4, 1}
+		want := []float64{3, 3, 4, 4}
+		v.Set(0, vals[me])
+		r.Scan(c, Max, v)
+		if v.At(0) != want[me] {
+			t.Errorf("rank %d scan-max = %v, want %v", me, v.At(0), want[me])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

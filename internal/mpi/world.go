@@ -1,0 +1,217 @@
+// Package mpi implements an MPI-like runtime on top of the virtual-time
+// simulator: ranks, communicators, datatypes, reduction operations,
+// eager/rendezvous point-to-point messaging, non-blocking requests, and
+// the standard collective algorithms (recursive doubling, ring,
+// Rabenseifner, binomial trees, single-leader hierarchies) that the paper
+// uses as building blocks and baselines.
+//
+// Every rank is a simulated process (sim.Proc). Data movement is charged
+// to the fabric model and — when buffers are real rather than phantom —
+// actually performed, so reduction results can be verified bit-for-bit.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"dpml/internal/fabric"
+	"dpml/internal/sim"
+	"dpml/internal/topology"
+	"dpml/internal/trace"
+)
+
+// Config adjusts runtime behaviour per World.
+type Config struct {
+	// EagerThreshold overrides the cluster's eager/rendezvous switch
+	// point in bytes when positive.
+	EagerThreshold int
+	// Trace, when non-nil, records every message, copy, and compute
+	// event (see the trace package).
+	Trace *trace.Recorder
+	// Jitter injects deterministic pseudo-random extra latency of up to
+	// this much per inter-node message, modelling system noise. Zero
+	// disables injection.
+	Jitter sim.Duration
+	// JitterSeed seeds the noise stream; runs with equal seeds are
+	// identical.
+	JitterSeed uint64
+}
+
+// World is one job: the simulated cluster fabric plus one rank per
+// process. Create it with NewWorld, then call Run exactly once.
+type World struct {
+	Kernel *sim.Kernel
+	Job    *topology.Job
+	Flows  *fabric.FlowNet
+	Net    *fabric.Network
+	Mem    []*fabric.MemChannel // indexed by node
+	Sharp  *fabric.Sharp        // nil when the fabric has no SHArP
+
+	cfg       Config
+	ranks     []*Rank
+	world     *Comm
+	nextCID   int
+	rng       uint64 // jitter stream state
+	commCache map[string]*Comm
+}
+
+// NewWorld builds the simulated job.
+func NewWorld(job *topology.Job, cfg Config) *World {
+	k := sim.NewKernel()
+	flows := fabric.NewFlowNet(k)
+	w := &World{
+		Kernel: k,
+		Job:    job,
+		Flows:  flows,
+		Net:    fabric.NewNetwork(k, flows, job.Cluster, job.NodesUsed),
+		cfg:    cfg,
+	}
+	w.Mem = make([]*fabric.MemChannel, job.NodesUsed)
+	for i := range w.Mem {
+		w.Mem[i] = fabric.NewMemChannel(k, flows, job.Cluster, i)
+	}
+	if s, err := fabric.NewSharp(k, job.Cluster); err == nil {
+		w.Sharp = s
+	}
+	w.rng = cfg.JitterSeed*2654435761 + 0x9e3779b97f4a7c15
+	n := job.NumProcs()
+	w.ranks = make([]*Rank, n)
+	all := make([]int, n)
+	for i := 0; i < n; i++ {
+		w.ranks[i] = newRank(w, i)
+		all[i] = i
+	}
+	w.world = w.NewComm(all)
+	return w
+}
+
+// EagerThreshold returns the eager/rendezvous switch point in force.
+func (w *World) EagerThreshold() int {
+	if w.cfg.EagerThreshold > 0 {
+		return w.cfg.EagerThreshold
+	}
+	return w.Job.Cluster.Net.EagerThreshold
+}
+
+// CommWorld returns the communicator containing every rank.
+func (w *World) CommWorld() *Comm { return w.world }
+
+// Tracer returns the configured event recorder (nil when tracing is off).
+func (w *World) Tracer() *trace.Recorder { return w.cfg.Trace }
+
+// jitter returns the next pseudo-random extra latency in [0, Jitter],
+// deterministic per seed (splitmix64 stream).
+func (w *World) jitter() sim.Duration {
+	if w.cfg.Jitter <= 0 {
+		return 0
+	}
+	w.rng += 0x9e3779b97f4a7c15
+	z := w.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return sim.Duration(z % uint64(w.cfg.Jitter+1))
+}
+
+// Rank returns the rank object with the given global rank.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Run spawns one simulated process per rank executing main and drives the
+// simulation to completion. It returns the kernel's error (deadlock,
+// panic) or the joined errors returned by the rank bodies.
+func (w *World) Run(main func(*Rank) error) error {
+	errs := make([]error, len(w.ranks))
+	for _, rk := range w.ranks {
+		rk := rk
+		w.Kernel.Spawn(fmt.Sprintf("rank%d", rk.rank), func(p *sim.Proc) {
+			rk.proc = p
+			errs[rk.rank] = main(rk)
+		})
+	}
+	if err := w.Kernel.Run(); err != nil {
+		return err
+	}
+	return errors.Join(errs...)
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	w     *World
+	rank  int
+	place topology.Placement
+	proc  *sim.Proc
+	ep    *fabric.Endpoint // this process's network attachment
+
+	// Message matching state (only ever touched in simulation context).
+	unexpected map[msgKey][]*envelope
+	posted     map[msgKey][]*Request
+	anyDone    sim.Signal // fired whenever one of this rank's requests completes
+}
+
+func newRank(w *World, i int) *Rank {
+	place := w.Job.Place(i)
+	return &Rank{
+		w:          w,
+		rank:       i,
+		place:      place,
+		ep:         w.Net.Endpoint(place.Node, place.HCA),
+		unexpected: make(map[msgKey][]*envelope),
+		posted:     make(map[msgKey][]*Request),
+	}
+}
+
+// World returns the owning world.
+func (r *Rank) World() *World { return r.w }
+
+// Rank returns the global rank number.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// Place returns the rank's hardware placement.
+func (r *Rank) Place() topology.Placement { return r.place }
+
+// Proc returns the underlying simulated process (valid inside Run).
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() sim.Time { return r.proc.Now() }
+
+// Compute blocks the rank for the time one core needs to stream a
+// reduction over bytes of input (the paper's c per byte).
+func (r *Rank) Compute(bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	start := r.proc.Now()
+	r.proc.Sleep(sim.TransferTime(int64(bytes), r.w.Job.Cluster.CPU.ReduceRate))
+	r.w.cfg.Trace.Add(trace.Event{
+		Rank: r.rank, Kind: trace.KindCompute, Start: start, End: r.proc.Now(), Bytes: bytes,
+	})
+}
+
+// Reduce applies op to fold src into dst, charging the compute cost.
+func (r *Rank) Reduce(op *Op, dst, src *Vector) {
+	r.Compute(dst.Bytes())
+	op.Apply(dst, src)
+}
+
+// MemCopy blocks the rank for one shared-memory copy of bytes on its
+// node (startup plus streaming; cross-socket copies cost more).
+func (r *Rank) MemCopy(crossSocket bool, bytes int) {
+	start := r.proc.Now()
+	r.w.Mem[r.place.Node].Copy(r.proc, crossSocket, int64(bytes))
+	label := "intra-socket"
+	if crossSocket {
+		label = "cross-socket"
+	}
+	r.w.cfg.Trace.Add(trace.Event{
+		Rank: r.rank, Kind: trace.KindShmCopy, Label: label,
+		Start: start, End: r.proc.Now(), Bytes: bytes,
+	})
+}
+
+// SameSocket reports whether the given global rank shares this rank's
+// node and socket.
+func (r *Rank) SameSocket(global int) bool { return r.w.Job.SameSocket(r.rank, global) }

@@ -1,0 +1,141 @@
+// Package shmseg models the per-node shared-memory regions the DPML
+// algorithm communicates through: each leader owns a segment with one
+// slot per local rank (Phase 1 gathers partitions into the slots) and a
+// result slot (Phase 3's reduced value, read back by every local rank in
+// Phase 4).
+//
+// The region carries data and synchronization only; the *cost* of each
+// copy is charged separately through the fabric's memory channel by the
+// caller. Operations are identified by a sequence number that all local
+// ranks advance in lockstep (one per collective call), so back-to-back
+// collectives can overlap without aliasing.
+package shmseg
+
+import (
+	"fmt"
+
+	"dpml/internal/mpi"
+	"dpml/internal/sim"
+)
+
+// Region is one node's shared-memory scratch space.
+type Region struct {
+	ppn int
+	ops map[uint64]*opState
+}
+
+type opState struct {
+	leaders int
+	// slots[j][i] is local rank i's partition for leader j.
+	slots   [][]*mpi.Vector
+	filled  []int         // per leader, how many slots are written
+	gather  []sim.Signal  // per leader, fired when its segment is full
+	results []*mpi.Vector // per leader, the fully reduced partition
+	ready   []sim.Signal  // per leader, fired when the result lands
+	drained int           // ranks that finished copying out
+}
+
+// NewRegion builds the region for a node with ppn local ranks.
+func NewRegion(ppn int) *Region {
+	if ppn <= 0 {
+		panic(fmt.Sprintf("shmseg: NewRegion(%d)", ppn))
+	}
+	return &Region{ppn: ppn, ops: make(map[uint64]*opState)}
+}
+
+// PPN returns the number of local ranks the region serves.
+func (rg *Region) PPN() int { return rg.ppn }
+
+// PendingOps returns the number of in-flight operations (useful for leak
+// checks in tests).
+func (rg *Region) PendingOps() int { return len(rg.ops) }
+
+func (rg *Region) op(seq uint64, leaders int) *opState {
+	st, ok := rg.ops[seq]
+	if !ok {
+		st = &opState{
+			leaders: leaders,
+			slots:   make([][]*mpi.Vector, leaders),
+			filled:  make([]int, leaders),
+			gather:  make([]sim.Signal, leaders),
+			results: make([]*mpi.Vector, leaders),
+			ready:   make([]sim.Signal, leaders),
+		}
+		for j := range st.slots {
+			st.slots[j] = make([]*mpi.Vector, rg.ppn)
+		}
+		rg.ops[seq] = st
+	}
+	if st.leaders != leaders {
+		panic(fmt.Sprintf("shmseg: op %d leader count disagreement: %d vs %d", seq, st.leaders, leaders))
+	}
+	return st
+}
+
+// Put deposits local rank localRank's partition for leader into operation
+// seq. The vector is stored by reference: callers pass a snapshot that is
+// now "in shared memory". The copy cost must already have been charged.
+func (rg *Region) Put(seq uint64, leaders, leader, localRank int, part *mpi.Vector) {
+	if leader < 0 || leader >= leaders {
+		panic(fmt.Sprintf("shmseg: Put leader %d of %d", leader, leaders))
+	}
+	if localRank < 0 || localRank >= rg.ppn {
+		panic(fmt.Sprintf("shmseg: Put local rank %d of %d", localRank, rg.ppn))
+	}
+	st := rg.op(seq, leaders)
+	if st.slots[leader][localRank] != nil {
+		panic(fmt.Sprintf("shmseg: op %d slot (%d,%d) written twice", seq, leader, localRank))
+	}
+	st.slots[leader][localRank] = part
+	st.filled[leader]++
+	st.gather[leader].FireAll()
+}
+
+// GatherWait parks the leader's proc until want slots of its segment are
+// written, then returns the slot array in local-rank order (entries of
+// ranks that did not contribute are nil). DPML leaders wait for all ppn
+// local ranks; socket leaders wait only for the ranks of their socket.
+func (rg *Region) GatherWait(p *sim.Proc, seq uint64, leaders, leader, want int) []*mpi.Vector {
+	if want <= 0 || want > rg.ppn {
+		panic(fmt.Sprintf("shmseg: GatherWait want %d of %d", want, rg.ppn))
+	}
+	st := rg.op(seq, leaders)
+	for st.filled[leader] < want {
+		st.gather[leader].Wait(p, fmt.Sprintf("shm gather op=%d leader=%d", seq, leader))
+	}
+	return st.slots[leader]
+}
+
+// Publish stores leader's fully reduced partition and wakes the local
+// ranks waiting to copy it out.
+func (rg *Region) Publish(seq uint64, leaders, leader int, result *mpi.Vector) {
+	st := rg.op(seq, leaders)
+	if st.results[leader] != nil {
+		panic(fmt.Sprintf("shmseg: op %d leader %d published twice", seq, leader))
+	}
+	st.results[leader] = result
+	st.ready[leader].FireAll()
+}
+
+// ResultWait parks the proc until leader's result is published and
+// returns it. The caller charges its own copy-out cost.
+func (rg *Region) ResultWait(p *sim.Proc, seq uint64, leaders, leader int) *mpi.Vector {
+	st := rg.op(seq, leaders)
+	for st.results[leader] == nil {
+		st.ready[leader].Wait(p, fmt.Sprintf("shm result op=%d leader=%d", seq, leader))
+	}
+	return st.results[leader]
+}
+
+// DoneCopy signals that one local rank has copied every result out of
+// operation seq; the last call releases the operation's storage.
+func (rg *Region) DoneCopy(seq uint64) {
+	st, ok := rg.ops[seq]
+	if !ok {
+		panic(fmt.Sprintf("shmseg: DoneCopy on unknown op %d", seq))
+	}
+	st.drained++
+	if st.drained == rg.ppn {
+		delete(rg.ops, seq)
+	}
+}

@@ -1,0 +1,191 @@
+package shmseg
+
+import (
+	"fmt"
+	"testing"
+
+	"dpml/internal/mpi"
+	"dpml/internal/sim"
+)
+
+func TestRegionFullGatherPublishDrain(t *testing.T) {
+	const ppn, leaders = 4, 2
+	rg := NewRegion(ppn)
+	k := sim.NewKernel()
+	results := make([][]float64, ppn)
+	for local := 0; local < ppn; local++ {
+		local := local
+		k.Spawn(fmt.Sprintf("p%d", local), func(p *sim.Proc) {
+			// Phase 1: deposit one partition per leader.
+			for j := 0; j < leaders; j++ {
+				v := mpi.NewVector(mpi.Float64, 2)
+				v.Fill(float64(10*local + j))
+				rg.Put(0, leaders, j, local, v)
+			}
+			// Phase 2+3 (leaders only): reduce slots, publish sum.
+			if local < leaders {
+				slots := rg.GatherWait(p, 0, leaders, local, ppn)
+				acc := slots[0].Clone()
+				for i := 1; i < ppn; i++ {
+					mpi.Sum.Apply(acc, slots[i])
+				}
+				rg.Publish(0, leaders, local, acc)
+			}
+			// Phase 4: read both results back.
+			out := make([]float64, 0, 2*leaders)
+			for j := 0; j < leaders; j++ {
+				res := rg.ResultWait(p, 0, leaders, j)
+				out = append(out, res.At(0), res.At(1))
+			}
+			results[local] = out
+			rg.DoneCopy(0)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Leader j's sum over locals of (10*local + j): 60 + 4j.
+	for local, out := range results {
+		for j := 0; j < leaders; j++ {
+			want := float64(60 + 4*j)
+			if out[2*j] != want || out[2*j+1] != want {
+				t.Fatalf("local %d leader %d: got %v, want %v", local, j, out[2*j], want)
+			}
+		}
+	}
+	if rg.PendingOps() != 0 {
+		t.Fatalf("op state leaked: %d pending", rg.PendingOps())
+	}
+}
+
+func TestRegionPartialGatherForSocketLeaders(t *testing.T) {
+	// 4 local ranks, 2 socket leaders; each rank deposits only with its
+	// socket's leader, which waits for exactly its 2 ranks.
+	const ppn = 4
+	rg := NewRegion(ppn)
+	k := sim.NewKernel()
+	socketOf := []int{0, 0, 1, 1}
+	leaderOf := []int{0, 0, 1, 1} // leader index == socket
+	var sums [2]float64
+	for local := 0; local < ppn; local++ {
+		local := local
+		k.Spawn(fmt.Sprintf("p%d", local), func(p *sim.Proc) {
+			v := mpi.NewVector(mpi.Float64, 1)
+			v.Fill(float64(local + 1))
+			rg.Put(7, 2, leaderOf[local], local, v)
+			if local == 0 || local == 2 {
+				lead := socketOf[local]
+				slots := rg.GatherWait(p, 7, 2, lead, 2)
+				var acc *mpi.Vector
+				for _, s := range slots {
+					if s == nil {
+						continue
+					}
+					if acc == nil {
+						acc = s.Clone()
+					} else {
+						mpi.Sum.Apply(acc, s)
+					}
+				}
+				sums[lead] = acc.At(0)
+				rg.Publish(7, 2, lead, acc)
+			}
+			rg.ResultWait(p, 7, 2, leaderOf[local])
+			rg.DoneCopy(7)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sums[0] != 3 || sums[1] != 7 { // 1+2 and 3+4
+		t.Fatalf("socket sums %v, want [3 7]", sums)
+	}
+	if rg.PendingOps() != 0 {
+		t.Fatal("op state leaked")
+	}
+}
+
+func TestRegionConcurrentOpsDoNotAlias(t *testing.T) {
+	// Two back-to-back operations with different sequence numbers stay
+	// separate even when their lifetimes overlap.
+	rg := NewRegion(2)
+	k := sim.NewKernel()
+	var got [2][2]float64
+	for local := 0; local < 2; local++ {
+		local := local
+		k.Spawn(fmt.Sprintf("p%d", local), func(p *sim.Proc) {
+			for seq := uint64(0); seq < 2; seq++ {
+				v := mpi.NewVector(mpi.Float64, 1)
+				v.Fill(float64(100*(seq+1) + uint64(local)))
+				rg.Put(seq, 1, 0, local, v)
+				if local == 0 {
+					slots := rg.GatherWait(p, seq, 1, 0, 2)
+					acc := slots[0].Clone()
+					mpi.Sum.Apply(acc, slots[1])
+					rg.Publish(seq, 1, 0, acc)
+				}
+				res := rg.ResultWait(p, seq, 1, 0)
+				got[local][seq] = res.At(0)
+				rg.DoneCopy(seq)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for local := 0; local < 2; local++ {
+		if got[local][0] != 201 || got[local][1] != 401 {
+			t.Fatalf("local %d results %v, want [201 401]", local, got[local])
+		}
+	}
+}
+
+func TestRegionMisusePanics(t *testing.T) {
+	rg := NewRegion(2)
+	v := mpi.NewVector(mpi.Float64, 1)
+	cases := []func(){
+		func() { NewRegion(0) },
+		func() { rg.Put(0, 1, 1, 0, v) },  // leader out of range
+		func() { rg.Put(0, 1, 0, 2, v) },  // local rank out of range
+		func() { rg.Put(0, 1, -1, 0, v) }, // negative leader
+		func() {
+			rg.Put(1, 1, 0, 0, v)
+			rg.Put(1, 1, 0, 0, v) // double write
+		},
+		func() {
+			rg.Put(2, 1, 0, 0, v)
+			rg.Put(2, 2, 1, 0, v) // leader count disagreement
+		},
+		func() {
+			rg.Publish(3, 1, 0, v)
+			rg.Publish(3, 1, 0, v) // double publish
+		},
+		func() { rg.DoneCopy(99) }, // unknown op
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGatherWaitWantValidation(t *testing.T) {
+	rg := NewRegion(2)
+	k := sim.NewKernel()
+	k.Spawn("p", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("GatherWait(want=3) with ppn=2 did not panic")
+			}
+		}()
+		rg.GatherWait(p, 0, 1, 0, 3)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

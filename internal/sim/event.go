@@ -1,0 +1,85 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback in virtual time. Events are created with
+// Kernel.At and may be cancelled before they fire. The callback runs in
+// kernel context: it must not block, but it may schedule further events,
+// ready parked procs, and mutate simulation state freely (the kernel is
+// single-threaded with respect to simulation state).
+type Event struct {
+	at        Time
+	seq       uint64 // tiebreaker: FIFO among events at the same instant
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+		e.fn = nil
+	}
+}
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e == nil || e.cancelled }
+
+// When returns the instant the event is scheduled to fire at.
+func (e *Event) When() Time { return e.at }
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// popNext removes and returns the earliest non-cancelled event, or nil if
+// the heap holds no live events. Cancelled events are discarded lazily.
+func (h *eventHeap) popNext() *Event {
+	for h.Len() > 0 {
+		e := heap.Pop(h).(*Event)
+		if !e.cancelled {
+			return e
+		}
+	}
+	return nil
+}
+
+// hasLive reports whether any non-cancelled event remains. It prunes
+// cancelled events from the top of the heap as a side effect.
+func (h *eventHeap) hasLive() bool {
+	for h.Len() > 0 {
+		if !(*h)[0].cancelled {
+			return true
+		}
+		heap.Pop(h)
+	}
+	return false
+}

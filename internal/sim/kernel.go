@@ -1,0 +1,320 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel runs simulated processes ("procs") as goroutines but executes
+// exactly one of them at a time, handing a run token back and forth. All
+// simulation state is therefore mutated without data races and every run
+// is bit-for-bit reproducible: scheduling is decided only by the virtual
+// clock, a FIFO ready queue, and an event heap with a sequence-number
+// tiebreaker.
+//
+// Procs interact with the kernel through blocking primitives (Sleep,
+// Signal.Wait, Semaphore.Acquire, Queue.Recv). When every proc is parked,
+// the kernel pops the earliest event, advances the virtual clock to it,
+// and fires its callback, which typically readies one or more procs. If
+// the ready queue and event heap are both empty while procs remain parked,
+// the kernel reports a deadlock naming each blocked proc.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type procState uint8
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Proc is a simulated process. A Proc handle is only valid inside the
+// function passed to Kernel.Spawn, and all of its methods must be called
+// from that function's goroutine.
+type Proc struct {
+	k         *Kernel
+	id        int
+	name      string
+	run       chan struct{}
+	state     procState
+	blockedOn string
+	killed    bool
+}
+
+// ID returns the proc's dense index in spawn order.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the label given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this proc belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// errKilled is panicked inside proc goroutines that are parked when the
+// kernel shuts down (deadlock or abort), so their stacks unwind cleanly.
+type errKilled struct{}
+
+// DeadlockError is returned by Kernel.Run when no event can advance the
+// simulation while procs remain blocked.
+type DeadlockError struct {
+	At      Time
+	Blocked []string // "name: reason" for each parked proc
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v; blocked procs:\n  %s",
+		e.At, strings.Join(e.Blocked, "\n  "))
+}
+
+// PanicError wraps a panic raised inside a proc.
+type PanicError struct {
+	Proc  string
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: proc %q panicked: %v", e.Proc, e.Value)
+}
+
+// Kernel owns the virtual clock, the event heap, and the proc scheduler.
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	procs []*Proc
+	ready []*Proc // FIFO
+	alive int
+
+	yield   chan struct{} // proc -> kernel: I parked/finished
+	started bool
+	failure error // first proc panic, aborts the run
+
+	// Stats counts scheduler activity; useful in tests and reports.
+	Stats struct {
+		Events        uint64
+		ContextSwitch uint64
+	}
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// NumProcs returns the number of spawned procs.
+func (k *Kernel) NumProcs() int { return len(k.procs) }
+
+// At schedules fn to run in kernel context when the virtual clock reaches
+// t. Scheduling in the past (t < Now) is clamped to Now, which makes the
+// event fire before any later-scheduled work. The returned Event may be
+// cancelled.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (k *Kernel) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Spawn registers a new proc running body. It must be called before Run
+// (procs spawning procs is not supported; MPI-style workloads spawn the
+// whole world up front).
+func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
+	if k.started {
+		panic("sim: Spawn after Run")
+	}
+	p := &Proc{
+		k:     k,
+		id:    len(k.procs),
+		name:  name,
+		run:   make(chan struct{}),
+		state: stateReady,
+	}
+	k.procs = append(k.procs, p)
+	k.ready = append(k.ready, p)
+	k.alive++
+	go func() {
+		<-p.run // wait for the first token
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(errKilled); ok {
+					// Unwound by kernel shutdown: hand the token back
+					// without touching failure state.
+					p.state = stateDone
+					k.alive--
+					k.yield <- struct{}{}
+					return
+				}
+				if k.failure == nil {
+					k.failure = &PanicError{Proc: p.name, Value: r}
+				}
+			}
+			p.state = stateDone
+			k.alive--
+			k.yield <- struct{}{}
+		}()
+		if p.killed {
+			panic(errKilled{})
+		}
+		body(p)
+	}()
+	return p
+}
+
+// Run drives the simulation until every proc has finished and no live
+// events remain. It returns a *DeadlockError if procs are stuck, or a
+// *PanicError if a proc panicked. Run may only be called once.
+func (k *Kernel) Run() error {
+	if k.started {
+		panic("sim: Run called twice")
+	}
+	k.started = true
+	for {
+		if k.failure != nil {
+			k.shutdown()
+			return k.failure
+		}
+		if len(k.ready) > 0 {
+			p := k.ready[0]
+			copy(k.ready, k.ready[1:])
+			k.ready = k.ready[:len(k.ready)-1]
+			if p.state == stateDone {
+				continue
+			}
+			p.state = stateRunning
+			k.Stats.ContextSwitch++
+			p.run <- struct{}{}
+			<-k.yield
+			continue
+		}
+		e := k.events.popNext()
+		if e == nil {
+			if k.alive == 0 {
+				return nil
+			}
+			err := k.deadlock()
+			k.shutdown()
+			return err
+		}
+		if e.at > k.now {
+			k.now = e.at
+		}
+		k.Stats.Events++
+		fn := e.fn
+		e.fn = nil
+		fn()
+	}
+}
+
+// deadlock builds the error naming every parked proc.
+func (k *Kernel) deadlock() *DeadlockError {
+	var blocked []string
+	for _, p := range k.procs {
+		if p.state == stateBlocked {
+			blocked = append(blocked, fmt.Sprintf("%s: %s", p.name, p.blockedOn))
+		}
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{At: k.now, Blocked: blocked}
+}
+
+// shutdown unwinds every parked proc so no goroutines leak after a failed
+// run.
+func (k *Kernel) shutdown() {
+	for _, p := range k.procs {
+		if p.state == stateBlocked || p.state == stateReady {
+			p.killed = true
+		}
+	}
+	// Wake parked procs one at a time; each unwinds via errKilled and
+	// yields back. Ready-but-never-run procs are woken the same way.
+	for _, p := range k.procs {
+		if p.state == stateBlocked || p.state == stateReady {
+			p.state = stateRunning
+			p.run <- struct{}{}
+			<-k.yield
+		}
+	}
+	k.ready = nil
+}
+
+// readyProc appends p to the ready queue. Kernel-internal; called from
+// event callbacks and from the currently running proc.
+func (k *Kernel) readyProc(p *Proc) {
+	if p.state != stateBlocked {
+		panic(fmt.Sprintf("sim: readying proc %q in state %d", p.name, p.state))
+	}
+	p.state = stateReady
+	k.ready = append(k.ready, p)
+}
+
+// park blocks the calling proc until something readies it. why is shown in
+// deadlock reports.
+func (p *Proc) park(why string) {
+	p.state = stateBlocked
+	p.blockedOn = why
+	p.k.yield <- struct{}{}
+	<-p.run
+	if p.killed {
+		panic(errKilled{})
+	}
+	p.blockedOn = ""
+}
+
+// yieldNow gives other ready procs a chance to run at the same instant.
+func (p *Proc) yieldNow(why string) {
+	k := p.k
+	p.state = stateBlocked
+	p.blockedOn = why
+	k.readyProc(p)
+	k.yield <- struct{}{}
+	<-p.run
+	if p.killed {
+		panic(errKilled{})
+	}
+}
+
+// Yield lets all other currently-ready procs run before continuing.
+// Virtual time does not advance.
+func (p *Proc) Yield() { p.yieldNow("yield") }
+
+// Sleep blocks the proc for d of virtual time. Negative d is treated as 0
+// but still yields.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	k.After(d, func() { k.readyProc(p) })
+	p.park(fmt.Sprintf("sleep until %v", k.now.Add(d)))
+}
+
+// SleepUntil blocks the proc until virtual time t (no-op if already past).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.k.now {
+		p.Yield()
+		return
+	}
+	p.Sleep(t.Sub(p.k.now))
+}

@@ -1,0 +1,467 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSingleProcSleepAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	var woke Time
+	k.Spawn("p0", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		woke = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != Time(5*Microsecond) {
+		t.Fatalf("woke at %v, want 5us", woke)
+	}
+	if k.Now() != Time(5*Microsecond) {
+		t.Fatalf("kernel clock %v, want 5us", k.Now())
+	}
+}
+
+func TestSleepZeroAndNegative(t *testing.T) {
+	k := NewKernel()
+	order := []string{}
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(0)
+		order = append(order, "a")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(-10)
+		order = append(order, "b")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("clock advanced to %v on zero sleeps", k.Now())
+	}
+	if len(order) != 2 {
+		t.Fatalf("got order %v", order)
+	}
+}
+
+func TestEventOrderingIsDeterministicFIFO(t *testing.T) {
+	// Events at the same instant fire in scheduling order.
+	k := NewKernel()
+	var got []int
+	k.Spawn("driver", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			i := i
+			k.After(3*Microsecond, func() { got = append(got, i) })
+		}
+		p.Sleep(10 * Microsecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("event order %v, want ascending", got)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.Spawn("p", func(p *Proc) {
+		e := k.After(Microsecond, func() { fired = true })
+		e.Cancel()
+		if !e.Cancelled() {
+			t.Error("event not marked cancelled")
+		}
+		p.Sleep(5 * Microsecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestAtInPastClampsToNow(t *testing.T) {
+	k := NewKernel()
+	var firedAt Time
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		k.At(Time(3*Microsecond), func() { firedAt = k.Now() })
+		p.Sleep(Microsecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firedAt != Time(10*Microsecond) {
+		t.Fatalf("past event fired at %v, want clamp to 10us", firedAt)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := NewKernel()
+	var sig Signal
+	k.Spawn("stuck-a", func(p *Proc) { sig.Wait(p, "waiting for nothing") })
+	k.Spawn("stuck-b", func(p *Proc) { sig.Wait(p, "also waiting") })
+	err := k.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("got %v, want DeadlockError", err)
+	}
+	if len(dl.Blocked) != 2 {
+		t.Fatalf("blocked list %v, want 2 entries", dl.Blocked)
+	}
+	if !strings.Contains(err.Error(), "stuck-a") || !strings.Contains(err.Error(), "waiting for nothing") {
+		t.Fatalf("deadlock report missing detail: %v", err)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	k := NewKernel()
+	var sig Signal
+	k.Spawn("victim", func(p *Proc) { sig.Wait(p, "parked forever") })
+	k.Spawn("bomber", func(p *Proc) {
+		p.Sleep(Microsecond)
+		panic("boom")
+	})
+	err := k.Run()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want PanicError", err)
+	}
+	if pe.Proc != "bomber" || fmt.Sprint(pe.Value) != "boom" {
+		t.Fatalf("wrong panic detail: %+v", pe)
+	}
+}
+
+func TestSignalFIFOOrder(t *testing.T) {
+	k := NewKernel()
+	var sig Signal
+	var got []string
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("w%d", i)
+		k.Spawn(name, func(p *Proc) {
+			sig.Wait(p, "test")
+			got = append(got, p.Name())
+		})
+	}
+	k.Spawn("firer", func(p *Proc) {
+		p.Sleep(Microsecond) // let all waiters park
+		for i := 0; i < 5; i++ {
+			if !sig.Fire() {
+				t.Error("Fire found no waiter")
+			}
+		}
+		if sig.Fire() {
+			t.Error("Fire released a phantom waiter")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range got {
+		if name != fmt.Sprintf("w%d", i) {
+			t.Fatalf("wake order %v, want FIFO", got)
+		}
+	}
+}
+
+func TestSignalFireAll(t *testing.T) {
+	k := NewKernel()
+	var sig Signal
+	released := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			sig.Wait(p, "test")
+			released++
+		})
+	}
+	k.Spawn("firer", func(p *Proc) {
+		p.Sleep(Microsecond)
+		if n := sig.FireAll(); n != 4 {
+			t.Errorf("FireAll released %d, want 4", n)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if released != 4 {
+		t.Fatalf("released %d, want 4", released)
+	}
+}
+
+func TestSemaphoreSerializes(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore("nic", 1)
+	var maxConc, conc int
+	for i := 0; i < 8; i++ {
+		k.Spawn(fmt.Sprintf("u%d", i), func(p *Proc) {
+			sem.Acquire(p)
+			conc++
+			if conc > maxConc {
+				maxConc = conc
+			}
+			p.Sleep(Microsecond)
+			conc--
+			sem.Release()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxConc != 1 {
+		t.Fatalf("max concurrency %d, want 1", maxConc)
+	}
+	if k.Now() != Time(8*Microsecond) {
+		t.Fatalf("serialized time %v, want 8us", k.Now())
+	}
+}
+
+func TestSemaphoreCounted(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore("slots", 3)
+	var maxConc, conc int
+	for i := 0; i < 9; i++ {
+		k.Spawn(fmt.Sprintf("u%d", i), func(p *Proc) {
+			sem.Acquire(p)
+			conc++
+			if conc > maxConc {
+				maxConc = conc
+			}
+			p.Sleep(Microsecond)
+			conc--
+			sem.Release()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxConc != 3 {
+		t.Fatalf("max concurrency %d, want 3", maxConc)
+	}
+	if k.Now() != Time(3*Microsecond) {
+		t.Fatalf("took %v, want 3us with 3 slots", k.Now())
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore("s", 1)
+	k.Spawn("p", func(p *Proc) {
+		if !sem.TryAcquire() {
+			t.Error("first TryAcquire failed")
+		}
+		if sem.TryAcquire() {
+			t.Error("second TryAcquire succeeded with 0 permits")
+		}
+		sem.Release()
+		if !sem.TryAcquire() {
+			t.Error("TryAcquire after Release failed")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueSendRecv(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int]("mbox")
+	var got []int
+	k.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Recv(p))
+		}
+	})
+	k.Spawn("send", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(Microsecond)
+			q.Send(i * 10)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueTryRecv(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[string]("m")
+	k.Spawn("p", func(p *Proc) {
+		if _, ok := q.TryRecv(); ok {
+			t.Error("TryRecv on empty queue succeeded")
+		}
+		q.Send("x")
+		q.Send("y")
+		if q.Len() != 2 {
+			t.Errorf("Len = %d, want 2", q.Len())
+		}
+		v, ok := q.TryRecv()
+		if !ok || v != "x" {
+			t.Errorf("TryRecv = %q,%v want x,true", v, ok)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := NewKernel()
+	var wg WaitGroup
+	wg.Add(3)
+	doneAt := Time(-1)
+	for i := 1; i <= 3; i++ {
+		d := Duration(i) * Microsecond
+		k.Spawn(fmt.Sprintf("worker%d", i), func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	k.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p, "join workers")
+		doneAt = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != Time(3*Microsecond) {
+		t.Fatalf("waiter released at %v, want 3us", doneAt)
+	}
+}
+
+func TestYieldInterleaves(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	k.Spawn("a", func(p *Proc) {
+		got = append(got, "a1")
+		p.Yield()
+		got = append(got, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		got = append(got, "b1")
+		p.Yield()
+		got = append(got, "b2")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "a1 b1 a2 b2"
+	if strings.Join(got, " ") != want {
+		t.Fatalf("got %v, want %q", got, want)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	trace := func() []string {
+		k := NewKernel()
+		var tr []string
+		var sig Signal
+		for i := 0; i < 6; i++ {
+			name := fmt.Sprintf("p%d", i)
+			d := Duration((i*7)%5) * Microsecond
+			k.Spawn(name, func(p *Proc) {
+				p.Sleep(d)
+				tr = append(tr, fmt.Sprintf("%s@%v", name, p.Now()))
+				if p.ID()%2 == 0 {
+					sig.Wait(p, "pair up")
+				} else {
+					sig.Fire()
+				}
+			})
+		}
+		k.Spawn("sweeper", func(p *Proc) {
+			p.Sleep(100 * Microsecond)
+			for sig.Fire() {
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := trace(), trace()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("nondeterministic runs:\n%v\n%v", a, b)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	cases := []struct {
+		n    int64
+		rate float64
+		want Duration
+	}{
+		{0, 1e9, 0},
+		{-5, 1e9, 0},
+		{1000, 1e9, Microsecond}, // 1000 B at 1 GB/s = 1us
+		{1, 12.5e9, 1},           // sub-ns clamps to 1ns
+		{1 << 20, 12.5e9, 83886}, // 1MiB at 100Gbps
+	}
+	for _, c := range cases {
+		if got := TransferTime(c.n, c.rate); got != c.want {
+			t.Errorf("TransferTime(%d,%g) = %v, want %v", c.n, c.rate, got, c.want)
+		}
+	}
+	if d := TransferTime(100, 0); d < Duration(1<<60) {
+		t.Errorf("zero rate should stall, got %v", d)
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if DurationOfSeconds(-1) != 0 {
+		t.Error("negative seconds should clamp to 0")
+	}
+	if DurationOfSeconds(1e-9) != 1 {
+		t.Error("1ns round trip failed")
+	}
+	d := 1500 * Nanosecond
+	if d.Micros() != 1.5 {
+		t.Errorf("Micros = %v, want 1.5", d.Micros())
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Error("Seconds conversion wrong")
+	}
+	t0 := Time(1000)
+	if t0.Add(500).Sub(t0) != 500 {
+		t.Error("Add/Sub roundtrip failed")
+	}
+}
+
+func TestManyProcsStress(t *testing.T) {
+	// 2000 procs ping-ponging through a queue should finish and stay
+	// deterministic.
+	k := NewKernel()
+	q := NewQueue[int]("ring")
+	const n = 2000
+	var sum int
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(Duration(i) * Nanosecond)
+			q.Send(i)
+		})
+	}
+	k.Spawn("collector", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			sum += q.Recv(p)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != n*(n-1)/2 {
+		t.Fatalf("sum %d, want %d", sum, n*(n-1)/2)
+	}
+}

@@ -1,0 +1,176 @@
+package sim
+
+import "fmt"
+
+// Signal is a broadcast/wakeup primitive for procs, analogous to a
+// condition variable. Waiters are released in FIFO order, which keeps
+// simulations deterministic.
+type Signal struct {
+	waiters []*Proc
+}
+
+// Wait parks the calling proc until Fire or FireAll releases it. why is
+// included in deadlock reports.
+func (s *Signal) Wait(p *Proc, why string) {
+	s.waiters = append(s.waiters, p)
+	p.park(why)
+}
+
+// Fire readies the oldest waiter, if any, and reports whether one was
+// released. May be called from a running proc or an event callback.
+func (s *Signal) Fire() bool {
+	if len(s.waiters) == 0 {
+		return false
+	}
+	p := s.waiters[0]
+	copy(s.waiters, s.waiters[1:])
+	s.waiters = s.waiters[:len(s.waiters)-1]
+	p.k.readyProc(p)
+	return true
+}
+
+// FireAll readies every waiter (FIFO order) and returns how many were
+// released.
+func (s *Signal) FireAll() int {
+	n := len(s.waiters)
+	for _, p := range s.waiters {
+		p.k.readyProc(p)
+	}
+	s.waiters = s.waiters[:0]
+	return n
+}
+
+// Pending returns the number of parked waiters.
+func (s *Signal) Pending() int { return len(s.waiters) }
+
+// Semaphore is a counted semaphore with FIFO handoff, used to model
+// serialized resources (e.g. a NIC injector or a SHArP operation slot).
+type Semaphore struct {
+	name    string
+	permits int
+	queue   []*Proc
+}
+
+// NewSemaphore returns a semaphore with the given initial permit count.
+func NewSemaphore(name string, permits int) *Semaphore {
+	if permits < 0 {
+		panic("sim: negative semaphore permits")
+	}
+	return &Semaphore{name: name, permits: permits}
+}
+
+// Acquire takes one permit, parking the proc until one is available.
+// Handoff is FIFO: a released permit goes to the oldest waiter even if a
+// later proc calls Acquire at the same instant.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.permits > 0 && len(s.queue) == 0 {
+		s.permits--
+		return
+	}
+	s.queue = append(s.queue, p)
+	p.park(fmt.Sprintf("semaphore %q", s.name))
+}
+
+// TryAcquire takes a permit without blocking, reporting success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.permits > 0 && len(s.queue) == 0 {
+		s.permits--
+		return true
+	}
+	return false
+}
+
+// Release returns one permit, waking the oldest waiter if any. Safe to
+// call from event callbacks.
+func (s *Semaphore) Release() {
+	if len(s.queue) > 0 {
+		p := s.queue[0]
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+		p.k.readyProc(p)
+		return
+	}
+	s.permits++
+}
+
+// Queued returns the number of procs waiting for a permit.
+func (s *Semaphore) Queued() int { return len(s.queue) }
+
+// Queue is an unbounded FIFO mailbox carrying values of type T between
+// procs. Send never blocks; Recv parks until a value is available.
+type Queue[T any] struct {
+	name  string
+	items []T
+	sig   Signal
+}
+
+// NewQueue returns an empty queue labeled name for deadlock reports.
+func NewQueue[T any](name string) *Queue[T] {
+	return &Queue[T]{name: name}
+}
+
+// Send enqueues v and wakes one receiver if any is parked. Callable from
+// procs and event callbacks.
+func (q *Queue[T]) Send(v T) {
+	q.items = append(q.items, v)
+	q.sig.Fire()
+}
+
+// Recv dequeues the oldest value, parking the proc while the queue is
+// empty.
+func (q *Queue[T]) Recv(p *Proc) T {
+	for len(q.items) == 0 {
+		q.sig.Wait(p, fmt.Sprintf("queue %q recv", q.name))
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return v
+}
+
+// TryRecv dequeues without blocking, reporting whether a value was
+// available.
+func (q *Queue[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return v, true
+}
+
+// Len returns the number of queued values.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// WaitGroup tracks completion of a known number of proc-side tasks in
+// virtual time.
+type WaitGroup struct {
+	n   int
+	sig Signal
+}
+
+// Add increases the outstanding-task count.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		w.sig.FireAll()
+	}
+}
+
+// Done decrements the counter, waking waiters when it reaches zero.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait parks p until the counter is zero.
+func (w *WaitGroup) Wait(p *Proc, why string) {
+	for w.n > 0 {
+		w.sig.Wait(p, why)
+	}
+}

@@ -1,0 +1,197 @@
+// Package trace records what the simulated job did: typed, timestamped
+// events (messages, shared-memory copies, compute, collectives) that can
+// be summarized per rank or per kind, exported as CSV, or rendered as a
+// compact text profile. Recording is optional and adds no cost to the
+// simulation's virtual time.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dpml/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds recorded by the runtime.
+const (
+	KindSend       Kind = "send"
+	KindRecv       Kind = "recv"
+	KindShmCopy    Kind = "shmcopy"
+	KindCompute    Kind = "compute"
+	KindCollective Kind = "coll"
+)
+
+// Event is one recorded operation.
+type Event struct {
+	Rank  int
+	Kind  Kind
+	Label string // free-form: peer, spec, phase
+	Start sim.Time
+	End   sim.Time
+	Bytes int
+}
+
+// Duration returns End - Start.
+func (e Event) Duration() sim.Duration { return e.End.Sub(e.Start) }
+
+// Recorder accumulates events. The zero value records nothing; create one
+// with New. All methods are called from simulation context (single
+// threaded), so no locking is needed.
+type Recorder struct {
+	events []Event
+	limit  int
+}
+
+// New returns a Recorder that keeps at most limit events (0 = unlimited).
+// Hitting the cap stops recording rather than evicting, so prefixes stay
+// intact for inspection.
+func New(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// Add records one event. Nil receivers and full recorders ignore it, so
+// call sites need no guards.
+func (t *Recorder) Add(e Event) {
+	if t == nil {
+		return
+	}
+	if t.limit > 0 && len(t.events) >= t.limit {
+		return
+	}
+	if e.End < e.Start {
+		panic(fmt.Sprintf("trace: event ends before it starts: %+v", e))
+	}
+	t.events = append(t.events, e)
+}
+
+// Len returns the number of recorded events.
+func (t *Recorder) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events in recording order.
+func (t *Recorder) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// KindStats summarizes one event kind.
+type KindStats struct {
+	Kind  Kind
+	Count int
+	Bytes int64
+	Busy  sim.Duration // summed durations across ranks
+}
+
+// ByKind aggregates counts, bytes, and busy time per kind, sorted by
+// kind name.
+func (t *Recorder) ByKind() []KindStats {
+	acc := map[Kind]*KindStats{}
+	for _, e := range t.Events() {
+		s, ok := acc[e.Kind]
+		if !ok {
+			s = &KindStats{Kind: e.Kind}
+			acc[e.Kind] = s
+		}
+		s.Count++
+		s.Bytes += int64(e.Bytes)
+		s.Busy += e.Duration()
+	}
+	out := make([]KindStats, 0, len(acc))
+	for _, s := range acc {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// RankBusy returns each rank's total busy time in the given kinds (all
+// kinds when none given), indexed by rank (length = max rank + 1).
+func (t *Recorder) RankBusy(kinds ...Kind) []sim.Duration {
+	want := map[Kind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []sim.Duration
+	for _, e := range t.Events() {
+		if len(want) > 0 && !want[e.Kind] {
+			continue
+		}
+		for e.Rank >= len(out) {
+			out = append(out, 0)
+		}
+		out[e.Rank] += e.Duration()
+	}
+	return out
+}
+
+// CommMatrix returns bytes sent between ranks: m[src][dst]. Only KindSend
+// events with a "->N" label are counted.
+func (t *Recorder) CommMatrix(n int) [][]int64 {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	for _, e := range t.Events() {
+		if e.Kind != KindSend {
+			continue
+		}
+		var dst int
+		if _, err := fmt.Sscanf(e.Label, "->%d", &dst); err != nil {
+			continue
+		}
+		if e.Rank < n && dst >= 0 && dst < n {
+			m[e.Rank][dst] += int64(e.Bytes)
+		}
+	}
+	return m
+}
+
+// WriteCSV exports the events as CSV (rank, kind, label, start_ns,
+// end_ns, bytes).
+func (t *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "rank,kind,label,start_ns,end_ns,bytes"); err != nil {
+		return err
+	}
+	for _, e := range t.Events() {
+		label := strings.ReplaceAll(e.Label, ",", ";")
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d\n",
+			e.Rank, e.Kind, label, int64(e.Start), int64(e.End), e.Bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders a human-readable profile: per-kind totals and the
+// busiest ranks.
+func (t *Recorder) Summary(w io.Writer) {
+	fmt.Fprintf(w, "trace: %d events\n", t.Len())
+	for _, s := range t.ByKind() {
+		fmt.Fprintf(w, "  %-8s count=%-8d bytes=%-12d busy=%v\n", s.Kind, s.Count, s.Bytes, s.Busy)
+	}
+	busy := t.RankBusy()
+	if len(busy) == 0 {
+		return
+	}
+	max, argmax := sim.Duration(-1), 0
+	var total sim.Duration
+	for r, d := range busy {
+		total += d
+		if d > max {
+			max, argmax = d, r
+		}
+	}
+	fmt.Fprintf(w, "  busiest rank: %d (%v); mean busy: %v\n",
+		argmax, max, total/sim.Duration(len(busy)))
+}
