@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test race vet ci bench results perf
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate: static checks plus the full test suite under the race
+# detector (the sweep pool runs simulations on multiple goroutines, so
+# -race exercises the parallel paths, not just the serial ones).
+ci: vet race
+
+# bench runs the simulator micro-benchmarks (kernel + fabric hot paths).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/sim/ ./internal/fabric/
+
+# results regenerates every committed table in results/ (see results/README.md).
+results:
+	for f in fig1a fig1b fig1c fig1d fig4 fig5 fig6 fig7 fig8a fig8b fig8c \
+	         fig9a fig9b fig9c fig9d fig11a fig11b fig11c model phases pipeline noise; do \
+		$(GO) run ./cmd/dpml-bench -figure $$f -iters 2 -warmup 1 -o results/$$f.txt || exit 1; \
+	done
+	$(GO) run ./cmd/dpml-bench -figure fig10 -iters 1 -warmup 1 -o results/fig10.txt
+
+# perf emits the simulator-throughput report committed as BENCH_sim.json.
+perf:
+	$(GO) run ./cmd/dpml-bench -perf -quick -o BENCH_sim.json

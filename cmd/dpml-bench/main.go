@@ -4,6 +4,8 @@
 //
 //	dpml-bench -figure fig4            # one figure at full scale
 //	dpml-bench -figure all -quick      # the whole suite at test scale
+//	dpml-bench -figure all -quick -j 8 # same output, 8 host workers
+//	dpml-bench -perf -quick            # simulator-throughput suite (JSON)
 //	dpml-bench -list                   # available figure ids
 package main
 
@@ -14,6 +16,7 @@ import (
 	"strings"
 
 	"dpml/internal/bench"
+	"dpml/internal/sweep"
 )
 
 func main() {
@@ -22,7 +25,9 @@ func main() {
 		quick  = flag.Bool("quick", false, "shrink job sizes for a fast run")
 		iters  = flag.Int("iters", 0, "timed iterations per point (0 = default)")
 		warmup = flag.Int("warmup", 0, "warmup iterations per point (0 = default)")
+		jobs   = flag.Int("j", 0, "parallel simulation jobs (0 = all cores, 1 = serial); output is identical for every value")
 		list   = flag.Bool("list", false, "list figure ids and exit")
+		perf   = flag.Bool("perf", false, "run the simulator-throughput suite and emit JSON (BENCH_sim.json schema)")
 		out    = flag.String("o", "", "write output to file instead of stdout")
 	)
 	flag.Parse()
@@ -42,16 +47,35 @@ func main() {
 		w = f
 	}
 
-	opt := bench.Options{Quick: *quick, Iters: *iters, Warmup: *warmup}
+	opt := bench.Options{Quick: *quick, Iters: *iters, Warmup: *warmup, Jobs: *jobs}
+	if *perf {
+		rep, err := bench.SimPerf(opt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	ids := []string{*figure}
 	if *figure == "all" {
 		ids = bench.FigureIDs()
 	}
-	for _, id := range ids {
+	// Figures fan out through the sweep pool (as do the series inside
+	// each figure) and come back in request order, so the rendered output
+	// is byte-identical whatever -j is.
+	tables, err := sweep.Map(opt.Jobs, ids, func(_ int, id string) (*bench.Table, error) {
 		tb, err := bench.Figure(id, opt)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
+			return nil, fmt.Errorf("%s: %w", id, err)
 		}
+		return tb, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, tb := range tables {
 		tb.Render(w)
 		fmt.Fprintln(w)
 	}

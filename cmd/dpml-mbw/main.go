@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"dpml/internal/bench"
+	"dpml/internal/sweep"
 	"dpml/internal/topology"
 )
 
@@ -28,6 +29,7 @@ func main() {
 		window      = flag.Int("window", 64, "messages in flight per pair")
 		iters       = flag.Int("iters", 2, "iterations per size")
 		relative    = flag.Bool("relative", true, "print throughput relative to 1 pair (Figure 1 style)")
+		jobs        = flag.Int("j", 0, "parallel simulation jobs (0 = all cores, 1 = serial); output is identical for every value")
 	)
 	flag.Parse()
 
@@ -56,7 +58,7 @@ func main() {
 	if *relative {
 		tb, err := bench.RelativeThroughput("mbw",
 			fmt.Sprintf("Relative throughput, %s, %s", mode, cl.Name),
-			cl, *intra, pairs, sizes, *window, *iters)
+			cl, *intra, pairs, sizes, *window, *iters, *jobs)
 		if err != nil {
 			fatal(err)
 		}
@@ -69,15 +71,13 @@ func main() {
 		fmt.Printf(" %10dp", p)
 	}
 	fmt.Println()
-	cols := make([][]float64, len(pairs))
-	for pi, p := range pairs {
-		thr, err := bench.MultiPairThroughput(cl, bench.MBWConfig{
+	cols, err := sweep.Map(*jobs, pairs, func(_ int, p int) ([]float64, error) {
+		return bench.MultiPairThroughput(cl, bench.MBWConfig{
 			Pairs: p, Intra: *intra, Window: *window, Iters: *iters,
 		}, sizes)
-		if err != nil {
-			fatal(err)
-		}
-		cols[pi] = thr
+	})
+	if err != nil {
+		fatal(err)
 	}
 	for si, n := range sizes {
 		fmt.Printf("%12d", n)

@@ -18,6 +18,8 @@ import (
 	"dpml/internal/bench"
 	"dpml/internal/core"
 	"dpml/internal/mpi"
+	"dpml/internal/sim"
+	"dpml/internal/sweep"
 	"dpml/internal/topology"
 )
 
@@ -34,6 +36,7 @@ func main() {
 		sizesFlag   = flag.String("sizes", "4,64,1024,16384,262144,1048576", "comma-separated message sizes in bytes")
 		iters       = flag.Int("iters", 5, "timed iterations per size")
 		warmup      = flag.Int("warmup", 1, "warmup iterations per size")
+		jobs        = flag.Int("j", 0, "parallel simulation jobs (0 = all cores, 1 = serial); each size runs its own simulated job, so output is identical for every value")
 	)
 	flag.Parse()
 
@@ -69,7 +72,16 @@ func main() {
 		label = spec.String()
 	}
 
-	lat, err := bench.AllreduceLatency(cl, *nodes, *ppn, choose, sizes, *iters, *warmup)
+	// Each size is an independent simulated job (with its own warmup, so
+	// per-size results match the one-world sweep bit for bit), fanned
+	// across -j workers and printed in request order.
+	lat, err := sweep.Map(*jobs, sizes, func(_ int, bytes int) (sim.Duration, error) {
+		one, err := bench.AllreduceLatency(cl, *nodes, *ppn, choose, []int{bytes}, *iters, *warmup)
+		if err != nil {
+			return 0, err
+		}
+		return one[0], nil
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -19,7 +19,7 @@ func main() {
 	res, err := dpml.TuneDPML(cluster, nodes, ppn,
 		[]int{1, 2, 4, 8, 16},
 		[]int{64, 1 << 10, 8 << 10, 64 << 10, 512 << 10},
-		3, 1)
+		3, 1, 0) // jobs=0: fan candidate sweeps across all cores
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -181,6 +181,27 @@ func TestEveryFigureRunsQuick(t *testing.T) {
 	}
 }
 
+// TestFigureDeterministicAcrossJobs is the parallel-engine guarantee: a
+// figure rendered serially and with an 8-worker sweep pool must be
+// byte-identical, because jobs share no state and results are collected
+// in submission order.
+func TestFigureDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-jobs determinism check skipped in -short mode")
+	}
+	serial, err := Figure("fig4", Options{Quick: true, Iters: 2, Warmup: 1, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Figure("fig4", Options{Quick: true, Iters: 2, Warmup: 1, Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.String(), parallel.String(); s != p {
+		t.Fatalf("rendered tables differ between -j 1 and -j 8:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+}
+
 func TestLeaderSweepShapeQuick(t *testing.T) {
 	// The harness-level check of the paper's core result at quick scale:
 	// 8 leaders beat 1 leader at the largest size.
@@ -201,7 +222,7 @@ func TestLeaderSweepShapeQuick(t *testing.T) {
 }
 
 func TestTuneDPML(t *testing.T) {
-	res, err := TuneDPML(topology.ClusterB(), 4, 8, []int{1, 4, 8, 16}, []int{64, 256 << 10}, 2, 1)
+	res, err := TuneDPML(topology.ClusterB(), 4, 8, []int{1, 4, 8, 16}, []int{64, 256 << 10}, 2, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,10 +244,10 @@ func TestTuneDPML(t *testing.T) {
 }
 
 func TestTuneDPMLValidation(t *testing.T) {
-	if _, err := TuneDPML(topology.ClusterB(), 2, 2, nil, []int{4}, 1, 0); err == nil {
+	if _, err := TuneDPML(topology.ClusterB(), 2, 2, nil, []int{4}, 1, 0, 1); err == nil {
 		t.Fatal("empty candidates accepted")
 	}
-	if _, err := TuneDPML(topology.ClusterB(), 2, 2, []int{1}, nil, 1, 0); err == nil {
+	if _, err := TuneDPML(topology.ClusterB(), 2, 2, []int{1}, nil, 1, 0, 1); err == nil {
 		t.Fatal("empty sizes accepted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"dpml/internal/costmodel"
 	"dpml/internal/mpi"
 	"dpml/internal/sim"
+	"dpml/internal/sweep"
 	"dpml/internal/topology"
 )
 
@@ -22,7 +23,6 @@ func phaseBreakdown(id string, opt Options) (*Table, error) {
 		nodes, ppn = 4, 8
 	}
 	const bytes = 512 << 10
-	leaders := []int{1, 2, 4, 8, 16}
 	t := &Table{
 		ID:     id,
 		Title:  fmt.Sprintf("DPML phase breakdown at 512KB, %s, %d nodes x %d ppn (measured on leader 0 vs Eq. 2-6)", cl.Name, nodes, ppn),
@@ -41,16 +41,14 @@ func phaseBreakdown(id string, opt Options) (*Table, error) {
 		"model-comm":    {Label: "model-comm"},
 	}
 	params := costmodel.FromCluster(cl)
-	for _, l := range leaders {
-		if l > ppn {
-			continue
-		}
+	cand := leaderCandidates(ppn)
+	times, err := sweep.Map(opt.Jobs, cand, func(_ int, l int) (core.PhaseTimes, error) {
+		var pt core.PhaseTimes
 		job, err := topology.NewJob(cl, nodes, ppn)
 		if err != nil {
-			return nil, err
+			return pt, err
 		}
 		e := core.NewEngine(mpi.NewWorld(job, mpi.Config{}))
-		var pt core.PhaseTimes
 		err = e.W.Run(func(r *mpi.Rank) error {
 			v := mpi.NewPhantom(mpi.Float32, bytes/4)
 			// Warm up once so phase timings exclude first-op skew.
@@ -67,9 +65,13 @@ func phaseBreakdown(id string, opt Options) (*Table, error) {
 			}
 			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
+		return pt, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, l := range cand {
+		pt := times[i]
 		measured["copy"].Points = append(measured["copy"].Points, Point{X: l, Y: pt.Copy.Micros()})
 		measured["reduce"].Points = append(measured["reduce"].Points, Point{X: l, Y: pt.Reduce.Micros()})
 		measured["inter"].Points = append(measured["inter"].Points, Point{X: l, Y: pt.Inter.Micros()})
@@ -111,18 +113,18 @@ func pipelineAblation(id string, opt Options) (*Table, error) {
 	if opt.Quick {
 		sizes = []int{1 << 20}
 	}
-	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+	series, err := sweep.Map(opt.Jobs, []int{1, 2, 4, 8, 16, 32}, func(_ int, k int) (Series, error) {
 		spec := core.DPMLPipelined(l, k)
 		if k == 1 {
 			spec = core.DPML(l)
 		}
-		s, err := LatencySeries(fmt.Sprintf("k=%d", k), cl, nodes, ppn,
+		return LatencySeries(fmt.Sprintf("k=%d", k), cl, nodes, ppn,
 			FixedSpec(spec), sizes, opt.Iters, opt.Warmup)
-		if err != nil {
-			return nil, err
-		}
-		t.Series = append(t.Series, s)
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Series = series
 	t.Notes = append(t.Notes, "ablation beyond the paper: Eq. 5 predicts k*a extra startup vs overlap gains; the sweet spot is the harness-measured minimum")
 	return t, nil
 }
@@ -147,14 +149,18 @@ func eagerAblation(id string, opt Options) (*Table, error) {
 	if opt.Quick {
 		sizes = []int{16 << 10, 64 << 10}
 	}
-	for _, thr := range []int{1, 4 << 10, 16 << 10, 64 << 10, 1 << 20} {
+	thrs := []int{1, 4 << 10, 16 << 10, 64 << 10, 1 << 20}
+	cells := gridCells(len(thrs), len(sizes))
+	lats, err := sweep.Map(opt.Jobs, cells, func(_ int, c gridCell) (sim.Duration, error) {
+		return thresholdLatency(cl, nodes, ppn, thrs[c.row], sizes[c.col], opt.Iters)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, thr := range thrs {
 		s := Series{Label: fmt.Sprintf("thr=%s", humanBytes(thr))}
-		for _, bytes := range sizes {
-			lat, err := thresholdLatency(cl, nodes, ppn, thr, bytes, opt.Iters)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, Point{X: bytes, Y: lat.Micros()})
+		for si, bytes := range sizes {
+			s.Points = append(s.Points, Point{X: bytes, Y: lats[ti*len(sizes)+si].Micros()})
 		}
 		t.Series = append(t.Series, s)
 	}

@@ -2,13 +2,14 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 
 	"dpml/internal/apps/hpcg"
 	"dpml/internal/apps/miniamr"
 	"dpml/internal/core"
 	"dpml/internal/costmodel"
 	"dpml/internal/mpi"
+	"dpml/internal/sim"
+	"dpml/internal/sweep"
 	"dpml/internal/topology"
 )
 
@@ -19,6 +20,13 @@ type Options struct {
 	Quick  bool
 	Iters  int // timed iterations per point (default 3 quick / 5 full)
 	Warmup int // untimed iterations per point (default 1)
+
+	// Jobs bounds how many independent simulated jobs (series, sweep
+	// points, grid cells) run concurrently on host threads: 0 uses every
+	// core (GOMAXPROCS), 1 runs serially. Simulations are deterministic
+	// and share no state, and results are collected in submission order,
+	// so output is byte-identical for every value of Jobs.
+	Jobs int
 }
 
 func (o Options) withDefaults() Options {
@@ -116,12 +124,38 @@ func figure1(id, title string, cl *topology.Cluster, intra bool, opt Options) (*
 	if intra && cl.CoresPerNode() < 32 {
 		pairs = []int{2, 4, 8} // 16 intra-node pairs need 32 cores
 	}
-	t, err := RelativeThroughput(id, title, cl, intra, pairs, sizes, window, iters)
+	t, err := RelativeThroughput(id, title, cl, intra, pairs, sizes, window, iters, opt.Jobs)
 	if err != nil {
 		return nil, err
 	}
 	t.Notes = append(t.Notes, "paper Fig 1: shm and IB scale with pairs at all sizes; Omni-Path scales only in Zone A (small)")
 	return t, nil
+}
+
+// leaderCandidates is the paper's leader-count sweep, clamped to ppn.
+func leaderCandidates(ppn int) []int {
+	var out []int
+	for _, l := range []int{1, 2, 4, 8, 16} {
+		if l <= ppn {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// gridCell indexes one point of a two-dimensional sweep (series row,
+// sweep-point column) so grid figures can fan every cell as its own job.
+type gridCell struct{ row, col int }
+
+// gridCells enumerates rows x cols cells in row-major order.
+func gridCells(rows, cols int) []gridCell {
+	out := make([]gridCell, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out = append(out, gridCell{r, c})
+		}
+	}
+	return out
 }
 
 // quickShrink reduces a job to test scale.
@@ -149,23 +183,34 @@ func leaderSweep(id string, cl *topology.Cluster, nodes, ppn int, opt Options) (
 		YLabel: "latency (us)",
 	}
 	sizes := sweepSizes(opt.Quick)
-	for _, l := range []int{1, 2, 4, 8, 16} {
-		if l > ppn {
-			continue
-		}
-		s, err := LatencySeries(fmt.Sprintf("%d-leader", l), cl, nodes, ppn,
+	series, err := sweep.Map(opt.Jobs, leaderCandidates(ppn), func(_ int, l int) (Series, error) {
+		return LatencySeries(fmt.Sprintf("%d-leader", l), cl, nodes, ppn,
 			FixedSpec(core.DPML(l)), sizes, opt.Iters, opt.Warmup)
-		if err != nil {
-			return nil, err
-		}
-		t.Series = append(t.Series, s)
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Series = series
 	if len(t.Series) > 1 {
 		last := t.Series[len(t.Series)-1].Label
 		t.AddSpeedupNote(last, "1-leader")
 		t.Notes = append(t.Notes, "paper: 4.9x (cluster B) / 4.3x (cluster C) at 512KB with 16 vs 1 leaders")
 	}
 	return t, nil
+}
+
+// sharpCase pairs a label with a reduction design for the SHArP figures.
+type sharpCase struct {
+	label string
+	spec  core.Spec
+}
+
+func sharpCases() []sharpCase {
+	return []sharpCase{
+		{"host-based", core.HostBased()},
+		{"node-leader", core.Spec{Design: core.DesignSharpNode}},
+		{"socket-leader", core.Spec{Design: core.DesignSharpSocket}},
+	}
 }
 
 // sharpComparison reproduces one panel of Figure 8: host-based vs SHArP
@@ -186,21 +231,14 @@ func sharpComparison(id string, ppn int, opt Options) (*Table, error) {
 		YLabel: "latency (us)",
 	}
 	sizes := smallSizes(opt.Quick)
-	cases := []struct {
-		label string
-		spec  core.Spec
-	}{
-		{"host-based", core.HostBased()},
-		{"node-leader", core.Spec{Design: core.DesignSharpNode}},
-		{"socket-leader", core.Spec{Design: core.DesignSharpSocket}},
+	cases := sharpCases()
+	series, err := sweep.Map(opt.Jobs, cases, func(_ int, cse sharpCase) (Series, error) {
+		return LatencySeries(cse.label, cl, nodes, ppn, FixedSpec(cse.spec), sizes, opt.Iters, opt.Warmup)
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, cse := range cases {
-		s, err := LatencySeries(cse.label, cl, nodes, ppn, FixedSpec(cse.spec), sizes, opt.Iters, opt.Warmup)
-		if err != nil {
-			return nil, err
-		}
-		t.Series = append(t.Series, s)
-	}
+	t.Series = series
 	t.AddSpeedupNote("node-leader", "host-based")
 	t.AddSpeedupNote("socket-leader", "host-based")
 	t.Notes = append(t.Notes, "paper: SHArP up to 2.5x at ppn=1; +80%/+100% (node/socket) at ppn=4; +46%/+73% at ppn=28; host wins by 4KB")
@@ -223,13 +261,13 @@ func libraryComparison(id string, cl *topology.Cluster, nodes, ppn int, withInte
 	}
 	libs = append(libs, core.LibProposed)
 	sizes := sweepSizes(opt.Quick)
-	for _, lib := range libs {
-		s, err := LatencySeries(string(lib), cl, nodes, ppn, LibrarySpec(lib), sizes, opt.Iters, opt.Warmup)
-		if err != nil {
-			return nil, err
-		}
-		t.Series = append(t.Series, s)
+	series, err := sweep.Map(opt.Jobs, libs, func(_ int, lib core.Library) (Series, error) {
+		return LatencySeries(string(lib), cl, nodes, ppn, LibrarySpec(lib), sizes, opt.Iters, opt.Warmup)
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Series = series
 	t.AddSpeedupNote("proposed", "mvapich2")
 	if withIntel {
 		t.AddSpeedupNote("proposed", "intelmpi")
@@ -254,31 +292,33 @@ func hpcgFigure(id string, opt Options) (*Table, error) {
 		XLabel: "processes",
 		YLabel: "DDOT time (us)",
 	}
-	cases := []struct {
-		label string
-		spec  core.Spec
-	}{
-		{"host-based", core.HostBased()},
-		{"node-leader", core.Spec{Design: core.DesignSharpNode}},
-		{"socket-leader", core.Spec{Design: core.DesignSharpSocket}},
-	}
-	for _, cse := range cases {
-		s := Series{Label: cse.label}
-		for _, shape := range shapes {
-			job, err := topology.NewJob(cl, shape.nodes, shape.ppn)
-			if err != nil {
-				return nil, err
-			}
-			e := core.NewEngine(mpi.NewWorld(job, mpi.Config{}))
-			res, err := hpcg.Run(e, hpcg.Config{
-				Nx: 16, Ny: 16, Nz: 8, Iterations: iters, Spec: cse.spec,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s at %d procs: %w", cse.label, job.NumProcs(), err)
-			}
-			s.Points = append(s.Points, Point{X: job.NumProcs(), Y: res.DDOTTime.Micros()})
+	cases := sharpCases()
+	// One job per (design, job shape) grid cell; cells land back in
+	// row-major order, so series assembly below is deterministic.
+	cells := gridCells(len(cases), len(shapes))
+	pts, err := sweep.Map(opt.Jobs, cells, func(_ int, c gridCell) (Point, error) {
+		cse, shape := cases[c.row], shapes[c.col]
+		job, err := topology.NewJob(cl, shape.nodes, shape.ppn)
+		if err != nil {
+			return Point{}, err
 		}
-		t.Series = append(t.Series, s)
+		e := core.NewEngine(mpi.NewWorld(job, mpi.Config{}))
+		res, err := hpcg.Run(e, hpcg.Config{
+			Nx: 16, Ny: 16, Nz: 8, Iterations: iters, Spec: cse.spec,
+		})
+		if err != nil {
+			return Point{}, fmt.Errorf("%s at %d procs: %w", cse.label, job.NumProcs(), err)
+		}
+		return Point{X: job.NumProcs(), Y: res.DDOTTime.Micros()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, cse := range cases {
+		t.Series = append(t.Series, Series{
+			Label:  cse.label,
+			Points: pts[ci*len(shapes) : (ci+1)*len(shapes)],
+		})
 	}
 	t.Notes = append(t.Notes, "paper: up to 35% lower DDOT time at 56 procs, ~10% at 224; gain shrinks as local work grows (weak scaling)")
 	return t, nil
@@ -299,23 +339,31 @@ func miniamrFigure(id string, cl *topology.Cluster, opt Options) (*Table, error)
 		XLabel: "processes",
 		YLabel: "refinement time (us)",
 	}
-	for _, lib := range core.Libraries() {
-		s := Series{Label: string(lib)}
-		for _, shape := range shapes {
-			job, err := topology.NewJob(cl, shape.nodes, shape.ppn)
-			if err != nil {
-				return nil, err
-			}
-			e := core.NewEngine(mpi.NewWorld(job, mpi.Config{}))
-			res, err := miniamr.Run(e, miniamr.Config{
-				BlocksPerRank: 32, BlockBytes: 4096, Steps: steps, Library: lib,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s at %d procs: %w", lib, job.NumProcs(), err)
-			}
-			s.Points = append(s.Points, Point{X: job.NumProcs(), Y: res.RefineTime.Micros()})
+	libs := core.Libraries()
+	cells := gridCells(len(libs), len(shapes))
+	pts, err := sweep.Map(opt.Jobs, cells, func(_ int, c gridCell) (Point, error) {
+		lib, shape := libs[c.row], shapes[c.col]
+		job, err := topology.NewJob(cl, shape.nodes, shape.ppn)
+		if err != nil {
+			return Point{}, err
 		}
-		t.Series = append(t.Series, s)
+		e := core.NewEngine(mpi.NewWorld(job, mpi.Config{}))
+		res, err := miniamr.Run(e, miniamr.Config{
+			BlocksPerRank: 32, BlockBytes: 4096, Steps: steps, Library: lib,
+		})
+		if err != nil {
+			return Point{}, fmt.Errorf("%s at %d procs: %w", lib, job.NumProcs(), err)
+		}
+		return Point{X: job.NumProcs(), Y: res.RefineTime.Micros()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, lib := range libs {
+		t.Series = append(t.Series, Series{
+			Label:  string(lib),
+			Points: pts[li*len(shapes) : (li+1)*len(shapes)],
+		})
 	}
 	t.Notes = append(t.Notes, "paper: proposed up to 40%/20% over MVAPICH2/Intel MPI on C, 60%/20% on D")
 	return t, nil
@@ -341,17 +389,22 @@ func modelComparison(id string, opt Options) (*Table, error) {
 	model := Series{Label: "model"}
 	simulated := Series{Label: "simulated"}
 	leaders := []int{1, 2, 4, 8, 16}
-	for _, l := range leaders {
-		if l > ppn {
-			continue
-		}
-		p := params.With(nodes*ppn, nodes, l, bytes)
-		model.Points = append(model.Points, Point{X: l, Y: p.DPML() * 1e6})
+	cand := leaderCandidates(ppn)
+	// The analytic points are arithmetic; only the simulations fan out.
+	lats, err := sweep.Map(opt.Jobs, cand, func(_ int, l int) (sim.Duration, error) {
 		lat, err := AllreduceLatency(cl, nodes, ppn, FixedSpec(core.DPML(l)), []int{bytes}, opt.Iters, opt.Warmup)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		simulated.Points = append(simulated.Points, Point{X: l, Y: lat[0].Micros()})
+		return lat[0], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, l := range cand {
+		p := params.With(nodes*ppn, nodes, l, bytes)
+		model.Points = append(model.Points, Point{X: l, Y: p.DPML() * 1e6})
+		simulated.Points = append(simulated.Points, Point{X: l, Y: lats[i].Micros()})
 	}
 	t.Series = []Series{model, simulated}
 	// Optimal leader count, both ways.
@@ -367,17 +420,15 @@ func modelComparison(id string, opt Options) (*Table, error) {
 	return t, nil
 }
 
-// AllFigures regenerates every figure, sorted by id.
+// AllFigures regenerates every figure in paper order. Figures run through
+// the sweep pool like their inner series do; tables come back in id order
+// regardless of completion order.
 func AllFigures(opt Options) ([]*Table, error) {
-	ids := FigureIDs()
-	sort.Strings(ids)
-	out := make([]*Table, 0, len(ids))
-	for _, id := range FigureIDs() {
+	return sweep.Map(opt.Jobs, FigureIDs(), func(_ int, id string) (*Table, error) {
 		tb, err := Figure(id, opt)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", id, err)
 		}
-		out = append(out, tb)
-	}
-	return out, nil
+		return tb, nil
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dpml/internal/mpi"
+	"dpml/internal/sweep"
 	"dpml/internal/topology"
 )
 
@@ -94,23 +95,27 @@ func MultiPairThroughput(cl *topology.Cluster, cfg MBWConfig, sizes []int) ([]fl
 }
 
 // RelativeThroughput builds a Figure-1-style table: for each pair count,
-// aggregate throughput relative to a single pair, per message size.
-func RelativeThroughput(id, title string, cl *topology.Cluster, intra bool, pairCounts []int, sizes []int, window, iters int) (*Table, error) {
-	base, err := MultiPairThroughput(cl, MBWConfig{Pairs: 1, Intra: intra, Window: window, Iters: iters}, sizes)
+// aggregate throughput relative to a single pair, per message size. The
+// single-pair baseline and every pair count run as independent sweep jobs
+// bounded by `jobs` workers (0 = all cores); the division happens after
+// the fan-in, so results match the serial run exactly.
+func RelativeThroughput(id, title string, cl *topology.Cluster, intra bool, pairCounts []int, sizes []int, window, iters, jobs int) (*Table, error) {
+	counts := append([]int{1}, pairCounts...)
+	thrs, err := sweep.Map(jobs, counts, func(_ int, pairs int) ([]float64, error) {
+		return MultiPairThroughput(cl, MBWConfig{Pairs: pairs, Intra: intra, Window: window, Iters: iters}, sizes)
+	})
 	if err != nil {
 		return nil, err
 	}
+	base := thrs[0]
 	t := &Table{
 		ID:     id,
 		Title:  title,
 		XLabel: "bytes",
 		YLabel: "throughput relative to 1 pair",
 	}
-	for _, pairs := range pairCounts {
-		thr, err := MultiPairThroughput(cl, MBWConfig{Pairs: pairs, Intra: intra, Window: window, Iters: iters}, sizes)
-		if err != nil {
-			return nil, err
-		}
+	for pi, pairs := range pairCounts {
+		thr := thrs[pi+1]
 		s := Series{Label: fmt.Sprintf("%d pairs", pairs)}
 		for i, x := range sizes {
 			rel := 0.0

@@ -6,6 +6,7 @@ import (
 	"dpml/internal/core"
 	"dpml/internal/mpi"
 	"dpml/internal/sim"
+	"dpml/internal/sweep"
 	"dpml/internal/topology"
 )
 
@@ -38,14 +39,17 @@ func noiseSensitivity(id string, opt Options) (*Table, error) {
 		{"flat-rabenseifner", core.Flat(mpi.AlgRabenseifner)},
 		{"dpml-16", core.DPML(minInt(16, ppn))},
 	}
-	for _, cse := range cases {
+	cells := gridCells(len(cases), len(jitters))
+	lats, err := sweep.Map(opt.Jobs, cells, func(_ int, c gridCell) (sim.Duration, error) {
+		return jitteredLatency(cl, nodes, ppn, cases[c.row].spec, bytes, jitters[c.col], opt.Iters)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, cse := range cases {
 		s := Series{Label: cse.label}
-		for _, j := range jitters {
-			lat, err := jitteredLatency(cl, nodes, ppn, cse.spec, bytes, j, opt.Iters)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, Point{X: int(j.Micros()), Y: lat.Micros()})
+		for ji, j := range jitters {
+			s.Points = append(s.Points, Point{X: int(j.Micros()), Y: lats[ci*len(jitters)+ji].Micros()})
 		}
 		t.Series = append(t.Series, s)
 	}

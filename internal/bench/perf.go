@@ -1,0 +1,139 @@
+package bench
+
+// perf.go is the simulator-throughput suite behind `dpml-bench -perf`:
+// it measures how fast the simulator itself runs, as distinct from what
+// it predicts. Kernel scenarios report simulated events per wall-clock
+// second for representative workloads; the figure section reports the
+// wall time of regenerating each figure. The JSON output (committed as
+// BENCH_sim.json) makes simulator performance diffable across commits.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"dpml/internal/core"
+	"dpml/internal/mpi"
+	"dpml/internal/topology"
+)
+
+// PerfScenario is one kernel-throughput measurement: a fixed simulated
+// workload with its event count and host wall time.
+type PerfScenario struct {
+	Name         string  `json:"name"`
+	Procs        int     `json:"procs"`
+	Events       uint64  `json:"events"`
+	Switches     uint64  `json:"context_switches"`
+	WallSec      float64 `json:"wall_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// PerfFigure is the wall-clock cost of regenerating one figure.
+type PerfFigure struct {
+	ID      string  `json:"id"`
+	WallSec float64 `json:"wall_sec"`
+}
+
+// PerfReport is the schema of BENCH_sim.json.
+type PerfReport struct {
+	GoMaxProcs   int            `json:"gomaxprocs"`
+	Jobs         int            `json:"jobs"`
+	Quick        bool           `json:"quick"`
+	Scenarios    []PerfScenario `json:"scenarios"`
+	Figures      []PerfFigure   `json:"figures"`
+	TotalWallSec float64        `json:"total_wall_sec"`
+}
+
+// perfScenario times `iters` back-to-back allreduces on a fresh world and
+// reads the kernel's event counters afterwards.
+func perfScenario(name string, cl *topology.Cluster, nodes, ppn int, spec core.Spec, bytes, iters int) (PerfScenario, error) {
+	job, err := topology.NewJob(cl, nodes, ppn)
+	if err != nil {
+		return PerfScenario{}, err
+	}
+	w := mpi.NewWorld(job, mpi.Config{})
+	e := core.NewEngine(w)
+	start := time.Now()
+	err = w.Run(func(r *mpi.Rank) error {
+		v := mpi.NewPhantom(mpi.Float32, bytes/4)
+		for i := 0; i < iters; i++ {
+			if err := e.Allreduce(r, spec, mpi.Sum, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return PerfScenario{}, fmt.Errorf("%s: %w", name, err)
+	}
+	s := PerfScenario{
+		Name:     name,
+		Procs:    job.NumProcs(),
+		Events:   w.Kernel.Stats.Events,
+		Switches: w.Kernel.Stats.ContextSwitch,
+		WallSec:  wall,
+	}
+	if wall > 0 {
+		s.EventsPerSec = float64(s.Events) / wall
+	}
+	return s, nil
+}
+
+// SimPerf runs the simulator-throughput suite. Scenarios run serially so
+// each wall time measures one world; figure regeneration honours opt.Jobs
+// inside each figure but times figures one at a time for the same reason.
+func SimPerf(opt Options) (*PerfReport, error) {
+	opt = opt.withDefaults()
+	rep := &PerfReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Jobs:       opt.Jobs,
+		Quick:      opt.Quick,
+	}
+	suiteStart := time.Now()
+
+	type scenario struct {
+		name       string
+		cl         *topology.Cluster
+		nodes, ppn int
+		spec       core.Spec
+		bytes      int
+		iters      int
+	}
+	scenarios := []scenario{
+		{"allreduce-dpml8-64KB-8x8", topology.ClusterB(), 8, 8, core.DPML(8), 64 << 10, 20},
+		{"allreduce-flat-rd-64KB-8x8", topology.ClusterB(), 8, 8, core.Flat(mpi.AlgRecursiveDoubling), 64 << 10, 20},
+		{"allreduce-dpml8-1MB-8x8", topology.ClusterC(), 8, 8, core.DPML(8), 1 << 20, 10},
+		{"allreduce-sharp-node-256B-8x8", topology.ClusterA(), 8, 8, core.Spec{Design: core.DesignSharpNode}, 256, 50},
+		// The fig10 job shape: 10,240 ranks in one world, the scale at
+		// which ready-queue and flow-removal complexity dominates. Runs
+		// even with Quick (it is one world, not a figure sweep).
+		{"allreduce-dpml16-64KB-160x64", topology.ClusterD(), 160, 64, core.DPML(16), 64 << 10, 2},
+	}
+	for _, sc := range scenarios {
+		s, err := perfScenario(sc.name, sc.cl, sc.nodes, sc.ppn, sc.spec, sc.bytes, sc.iters)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scenarios = append(rep.Scenarios, s)
+	}
+
+	for _, id := range FigureIDs() {
+		start := time.Now()
+		if _, err := Figure(id, opt); err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		rep.Figures = append(rep.Figures, PerfFigure{ID: id, WallSec: time.Since(start).Seconds()})
+	}
+	rep.TotalWallSec = time.Since(suiteStart).Seconds()
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -5,6 +5,7 @@ import (
 
 	"dpml/internal/core"
 	"dpml/internal/costmodel"
+	"dpml/internal/sweep"
 	"dpml/internal/topology"
 )
 
@@ -20,8 +21,11 @@ type TuneResult struct {
 
 // TuneDPML performs the Section 6.4 procedure: run every candidate
 // leader count at every message size on the given job and record the
-// winners. This is how the shipped BestLeaders table was derived.
-func TuneDPML(cl *topology.Cluster, nodes, ppn int, leaders, sizes []int, iters, warmup int) (*TuneResult, error) {
+// winners. This is how the shipped BestLeaders table was derived. Each
+// candidate sweep runs as an independent job bounded by `jobs` workers
+// (0 = all cores); winners are picked after the fan-in, in candidate
+// order, so the result is identical at every worker count.
+func TuneDPML(cl *topology.Cluster, nodes, ppn int, leaders, sizes []int, iters, warmup, jobs int) (*TuneResult, error) {
 	if len(leaders) == 0 || len(sizes) == 0 {
 		return nil, fmt.Errorf("bench: TuneDPML needs candidates and sizes")
 	}
@@ -36,21 +40,26 @@ func TuneDPML(cl *topology.Cluster, nodes, ppn int, leaders, sizes []int, iters,
 		Shipped:   map[int]int{},
 		Predicted: map[int]int{},
 	}
-	best := map[int]float64{}
+	var cand []int
 	for _, l := range leaders {
-		if l > ppn {
-			continue
+		if l <= ppn {
+			cand = append(cand, l)
 		}
-		s, err := LatencySeries(fmt.Sprintf("l=%d", l), cl, nodes, ppn,
+	}
+	series, err := sweep.Map(jobs, cand, func(_ int, l int) (Series, error) {
+		return LatencySeries(fmt.Sprintf("l=%d", l), cl, nodes, ppn,
 			FixedSpec(core.DPML(l)), sizes, iters, warmup)
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := map[int]float64{}
+	for i, s := range series {
 		res.Table.Series = append(res.Table.Series, s)
 		for _, p := range s.Points {
 			if cur, ok := best[p.X]; !ok || p.Y < cur {
 				best[p.X] = p.Y
-				res.Best[p.X] = l
+				res.Best[p.X] = cand[i]
 			}
 		}
 	}

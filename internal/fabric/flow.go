@@ -25,10 +25,15 @@ import (
 type Link struct {
 	name      string
 	capacity  float64 // bytes/sec
-	flows     []*flow
+	flows     []*flow // live flows plus tombstones awaiting compaction
+	live      int     // live entries in flows
 	moved     float64 // total bytes carried (for utilization reports)
 	busy      sim.Duration
 	busyUntil sim.Time // high-water mark of charged busy time
+
+	// bottleneck records whether the link was saturated by the last
+	// water-fill; it gates the incremental completion fast path.
+	bottleneck bool
 
 	// water-filling scratch state, valid only within one recompute
 	mark     uint64
@@ -51,7 +56,7 @@ func (l *Link) Name() string { return l.name }
 func (l *Link) Capacity() float64 { return l.capacity }
 
 // ActiveFlows returns the number of flows currently crossing the link.
-func (l *Link) ActiveFlows() int { return len(l.flows) }
+func (l *Link) ActiveFlows() int { return l.live }
 
 // BytesMoved returns the total bytes the link has carried.
 func (l *Link) BytesMoved() int64 { return int64(l.moved) }
@@ -83,16 +88,32 @@ func (l *Link) Utilization(elapsed sim.Duration) float64 {
 	return l.moved / (l.capacity * elapsed.Seconds())
 }
 
-func (l *Link) addFlow(f *flow) { l.flows = append(l.flows, f) }
+func (l *Link) addFlow(f *flow) {
+	l.flows = append(l.flows, f)
+	l.live++
+}
 
-func (l *Link) removeFlow(f *flow) {
-	for i, g := range l.flows {
-		if g == f {
-			l.flows = append(l.flows[:i], l.flows[i+1:]...)
-			return
+// compact drops tombstoned (completed) flows, preserving the insertion
+// order of the survivors. Completion marks a flow done in O(1) instead of
+// linearly scanning every link it crossed; the next water-fill — which
+// walks these lists anyway — compacts them here, so removal is O(1)
+// amortized while iteration order (and therefore every downstream
+// floating-point sum and event sequence number) stays bit-identical to
+// eager ordered removal.
+func (l *Link) compact() {
+	if len(l.flows) == l.live {
+		return
+	}
+	flows := l.flows[:0]
+	for _, f := range l.flows {
+		if !f.done {
+			flows = append(flows, f)
 		}
 	}
-	panic(fmt.Sprintf("fabric: flow not on link %q", l.name))
+	for i := len(flows); i < len(l.flows); i++ {
+		l.flows[i] = nil
+	}
+	l.flows = flows
 }
 
 type flow struct {
@@ -105,6 +126,7 @@ type flow struct {
 	onDone     func()
 	event      *sim.Event
 	frozen     bool // scratch state for water-filling
+	done       bool // completed; awaiting compaction
 }
 
 // FlowNet owns the set of active flows and keeps their rates max-min fair.
@@ -112,7 +134,8 @@ type flow struct {
 // event callback).
 type FlowNet struct {
 	k      *sim.Kernel
-	active []*flow
+	active []*flow // live flows plus tombstones awaiting compaction
+	live   int     // live entries in active
 	dirty  bool
 	gen    uint64  // water-filling generation stamp
 	lbuf   []*Link // scratch: links touched by the current fill
@@ -121,6 +144,9 @@ type FlowNet struct {
 		Started   uint64
 		Completed uint64
 		Recompute uint64
+		// FastPath counts completions that skipped the settle-and-refill
+		// recompute because no link the flow crossed was a bottleneck.
+		FastPath uint64
 	}
 }
 
@@ -130,7 +156,7 @@ func NewFlowNet(k *sim.Kernel) *FlowNet {
 }
 
 // Active returns the number of in-flight flows.
-func (n *FlowNet) Active() int { return len(n.active) }
+func (n *FlowNet) Active() int { return n.live }
 
 // Start launches a flow of bytes over the given links with a per-flow rate
 // ceiling, invoking onDone in kernel context when the last byte drains.
@@ -159,6 +185,7 @@ func (n *FlowNet) Start(bytes int64, rateCap float64, onDone func(), links ...*L
 		l.addFlow(f)
 	}
 	n.active = append(n.active, f)
+	n.live++
 	n.Stats.Started++
 	n.markDirty()
 }
@@ -177,25 +204,36 @@ func (n *FlowNet) markDirty() {
 func (n *FlowNet) complete(f *flow) {
 	// Credit the final, not-yet-settled leg of the transfer.
 	now := n.k.Now()
+	fast := !n.dirty
 	for _, l := range f.links {
 		l.moved += f.remaining
 		l.chargeBusy(f.lastSettle, now)
+		l.live--
+		if l.bottleneck {
+			fast = false
+		}
 	}
 	f.remaining = 0
 	f.event = nil
-	for _, l := range f.links {
-		l.removeFlow(f)
-	}
-	for i, g := range n.active {
-		if g == f {
-			n.active = append(n.active[:i], n.active[i+1:]...)
-			break
-		}
-	}
+	// O(1) removal: tombstone the flow; the next water-fill compacts it
+	// out of n.active and each link's list in order-preserving passes.
+	f.done = true
+	n.live--
 	n.Stats.Completed++
 	done := f.onDone
 	f.onDone = nil
-	n.markDirty()
+	if fast {
+		// Incremental fast path: every link this flow crossed had spare
+		// capacity after the last water-fill, so no surviving flow was
+		// throttled by them — the departure cannot raise anyone's rate,
+		// and the full settle-and-refill pass is skipped. (Link capacity
+		// in use only decreases between fills, so the flags can only be
+		// conservatively stale: a flagged bottleneck forces a recompute
+		// it might not strictly need, never the reverse.)
+		n.Stats.FastPath++
+	} else {
+		n.markDirty()
+	}
 	if done != nil {
 		done()
 	}
@@ -205,6 +243,7 @@ func (n *FlowNet) complete(f *flow) {
 // completion events for every active flow.
 func (n *FlowNet) recompute() {
 	n.Stats.Recompute++
+	n.compact()
 	now := n.k.Now()
 	for _, f := range n.active {
 		if dt := now.Sub(f.lastSettle); dt > 0 {
@@ -226,6 +265,29 @@ func (n *FlowNet) recompute() {
 
 	n.waterFill()
 
+	n.reschedule(now)
+}
+
+// compact drops tombstoned flows from the active list, preserving the
+// insertion order of survivors (see Link.compact for why order matters).
+func (n *FlowNet) compact() {
+	if len(n.active) == n.live {
+		return
+	}
+	active := n.active[:0]
+	for _, f := range n.active {
+		if !f.done {
+			active = append(active, f)
+		}
+	}
+	for i := len(active); i < len(n.active); i++ {
+		n.active[i] = nil
+	}
+	n.active = active
+}
+
+// reschedule refreshes completion events after a water-fill.
+func (n *FlowNet) reschedule(now sim.Time) {
 	for _, f := range n.active {
 		// An unchanged rate means the previously scheduled completion
 		// time is still exact (fluid drain is linear); skipping the
@@ -263,6 +325,7 @@ func (n *FlowNet) waterFill() {
 				l.mark = n.gen
 				l.residual = l.capacity
 				l.unfrozen = 0
+				l.compact()
 				links = append(links, l)
 			}
 			l.unfrozen++
@@ -332,5 +395,14 @@ func (n *FlowNet) waterFill() {
 			// Numerically impossible, but never spin.
 			panic("fabric: water-filling found no binding constraint")
 		}
+	}
+
+	// Record which links this fill saturated. Completions on links with
+	// spare capacity take the incremental fast path (see complete). The
+	// tolerance errs toward "bottleneck": misflagging a saturated link as
+	// free would skip a required recompute, while the reverse only costs
+	// a redundant one.
+	for _, l := range links {
+		l.bottleneck = l.residual <= l.capacity*1e-6
 	}
 }

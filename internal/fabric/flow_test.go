@@ -255,6 +255,97 @@ func TestFlowNetStats(t *testing.T) {
 	}
 }
 
+func TestCompletionFastPathSkipsRecompute(t *testing.T) {
+	// Two cap-bound flows share one fat link (2 GB/s of demand on 100
+	// GB/s): the link is never a bottleneck, so each completion must take
+	// the incremental fast path instead of scheduling a full
+	// settle-and-refill recompute.
+	k := sim.NewKernel()
+	n := NewFlowNet(k)
+	k.Spawn("driver", func(p *sim.Proc) {
+		l := NewLink("fat", 100e9)
+		waitFlows(p, 2, func(done func()) {
+			n.Start(1_000_000, 1e9, done, l) // finishes at 1 ms
+			n.Start(2_000_000, 1e9, done, l) // finishes at 2 ms
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats.Recompute != 1 {
+		t.Errorf("Recompute = %d, want 1 (only the start batch)", n.Stats.Recompute)
+	}
+	if n.Stats.FastPath != 2 {
+		t.Errorf("FastPath = %d, want 2 (both completions skip the refill)", n.Stats.FastPath)
+	}
+	// Kernel event budget: one batched recompute plus two completion
+	// events — the fast path must not schedule anything extra.
+	if k.Stats.Events != 3 {
+		t.Errorf("kernel events = %d, want 3 (1 recompute + 2 completions)", k.Stats.Events)
+	}
+	if n.Active() != 0 {
+		t.Errorf("Active = %d after completion", n.Active())
+	}
+}
+
+func TestCompletionOnBottleneckLinkRecomputes(t *testing.T) {
+	// Contrast case: the shared link is saturated, so a departure frees
+	// bandwidth the survivor must pick up — every completion must trigger
+	// a full recompute (and the survivor must actually speed up: see
+	// TestRateReallocatedOnDeparture for the timing assertion).
+	k := sim.NewKernel()
+	n := NewFlowNet(k)
+	k.Spawn("driver", func(p *sim.Proc) {
+		l := NewLink("narrow", 2e9)
+		waitFlows(p, 2, func(done func()) {
+			n.Start(1_000_000, 10e9, done, l)
+			n.Start(2_000_000, 10e9, done, l)
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats.FastPath != 0 {
+		t.Errorf("FastPath = %d, want 0 (bottleneck departures must refill)", n.Stats.FastPath)
+	}
+	if n.Stats.Recompute != 3 {
+		t.Errorf("Recompute = %d, want 3 (start batch + one per departure)", n.Stats.Recompute)
+	}
+	// 1 start-batch recompute + 2 completions + 2 departure recomputes.
+	if k.Stats.Events != 5 {
+		t.Errorf("kernel events = %d, want 5", k.Stats.Events)
+	}
+}
+
+func TestFastPathPreservesLinkAccounting(t *testing.T) {
+	// Skipping the settle pass must not lose byte or busy accounting:
+	// the final-leg credit in complete covers the unsettled span.
+	k := sim.NewKernel()
+	n := NewFlowNet(k)
+	l := NewLink("fat", 100e9)
+	k.Spawn("driver", func(p *sim.Proc) {
+		waitFlows(p, 2, func(done func()) {
+			n.Start(1_000_000, 1e9, done, l)
+			n.Start(2_000_000, 1e9, done, l)
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats.FastPath != 2 {
+		t.Fatalf("FastPath = %d, want 2", n.Stats.FastPath)
+	}
+	if got := l.BytesMoved(); got != 3_000_000 {
+		t.Errorf("BytesMoved = %d, want 3000000", got)
+	}
+	if busy := l.BusyTime(); busy != 2*sim.Millisecond {
+		t.Errorf("BusyTime = %v, want 2ms (flows span [0,1ms] and [0,2ms])", busy)
+	}
+	if l.ActiveFlows() != 0 {
+		t.Errorf("ActiveFlows = %d after completion", l.ActiveFlows())
+	}
+}
+
 func TestWaterFillInvariants(t *testing.T) {
 	// Property-style check on the water-filler directly: random flow
 	// populations must never oversubscribe a link, never exceed a flow

@@ -1,12 +1,15 @@
 package sim
 
-import "container/heap"
-
 // Event is a scheduled callback in virtual time. Events are created with
 // Kernel.At and may be cancelled before they fire. The callback runs in
 // kernel context: it must not block, but it may schedule further events,
 // ready parked procs, and mutate simulation state freely (the kernel is
 // single-threaded with respect to simulation state).
+//
+// Event objects are pooled by the kernel: a handle is only valid until
+// the event fires (or, once cancelled, until the kernel discards it).
+// Retaining a handle past that point and calling Cancel on it may affect
+// an unrelated, recycled event.
 type Event struct {
 	at        Time
 	seq       uint64 // tiebreaker: FIFO among events at the same instant
@@ -58,28 +61,4 @@ func (h *eventHeap) Pop() any {
 	e.index = -1
 	*h = old[:n-1]
 	return e
-}
-
-// popNext removes and returns the earliest non-cancelled event, or nil if
-// the heap holds no live events. Cancelled events are discarded lazily.
-func (h *eventHeap) popNext() *Event {
-	for h.Len() > 0 {
-		e := heap.Pop(h).(*Event)
-		if !e.cancelled {
-			return e
-		}
-	}
-	return nil
-}
-
-// hasLive reports whether any non-cancelled event remains. It prunes
-// cancelled events from the top of the heap as a side effect.
-func (h *eventHeap) hasLive() bool {
-	for h.Len() > 0 {
-		if !(*h)[0].cancelled {
-			return true
-		}
-		heap.Pop(h)
-	}
-	return false
 }

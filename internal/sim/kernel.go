@@ -42,6 +42,7 @@ type Proc struct {
 	state     procState
 	blockedOn string
 	killed    bool
+	wake      func() // cached Sleep callback: one closure per proc, not per call
 }
 
 // ID returns the proc's dense index in spawn order.
@@ -88,9 +89,10 @@ type Kernel struct {
 	now    Time
 	events eventHeap
 	seq    uint64
+	epool  []*Event // dead events recycled by At (see Event doc)
 
 	procs []*Proc
-	ready []*Proc // FIFO
+	ready procRing // FIFO
 	alive int
 
 	yield   chan struct{} // proc -> kernel: I parked/finished
@@ -119,14 +121,48 @@ func (k *Kernel) NumProcs() int { return len(k.procs) }
 // t. Scheduling in the past (t < Now) is clamped to Now, which makes the
 // event fire before any later-scheduled work. The returned Event may be
 // cancelled.
+//
+// Event objects are pooled: a handle is valid until the event fires or,
+// if cancelled, until the kernel discards it, after which the object may
+// back a different scheduled event. Holders must drop their reference
+// once the callback has run (as the flow scheduler does by nil-ing its
+// handle inside the callback).
 func (k *Kernel) At(t Time, fn func()) *Event {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	e := &Event{at: t, seq: k.seq, fn: fn}
+	var e *Event
+	if n := len(k.epool); n > 0 {
+		e = k.epool[n-1]
+		k.epool[n-1] = nil
+		k.epool = k.epool[:n-1]
+		*e = Event{at: t, seq: k.seq, fn: fn}
+	} else {
+		e = &Event{at: t, seq: k.seq, fn: fn}
+	}
 	heap.Push(&k.events, e)
 	return e
+}
+
+// recycle returns a dead (fired or discarded-cancelled) event to the
+// allocation pool.
+func (k *Kernel) recycle(e *Event) {
+	e.fn = nil
+	k.epool = append(k.epool, e)
+}
+
+// popEvent removes and returns the earliest live event, discarding (and
+// recycling) cancelled ones. Returns nil when no live event remains.
+func (k *Kernel) popEvent() *Event {
+	for k.events.Len() > 0 {
+		e := heap.Pop(&k.events).(*Event)
+		if !e.cancelled {
+			return e
+		}
+		k.recycle(e)
+	}
+	return nil
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -151,8 +187,9 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 		run:   make(chan struct{}),
 		state: stateReady,
 	}
+	p.wake = func() { k.readyProc(p) }
 	k.procs = append(k.procs, p)
-	k.ready = append(k.ready, p)
+	k.ready.push(p)
 	k.alive++
 	go func() {
 		<-p.run // wait for the first token
@@ -195,10 +232,8 @@ func (k *Kernel) Run() error {
 			k.shutdown()
 			return k.failure
 		}
-		if len(k.ready) > 0 {
-			p := k.ready[0]
-			copy(k.ready, k.ready[1:])
-			k.ready = k.ready[:len(k.ready)-1]
+		if k.ready.len() > 0 {
+			p := k.ready.pop()
 			if p.state == stateDone {
 				continue
 			}
@@ -208,7 +243,7 @@ func (k *Kernel) Run() error {
 			<-k.yield
 			continue
 		}
-		e := k.events.popNext()
+		e := k.popEvent()
 		if e == nil {
 			if k.alive == 0 {
 				return nil
@@ -222,7 +257,7 @@ func (k *Kernel) Run() error {
 		}
 		k.Stats.Events++
 		fn := e.fn
-		e.fn = nil
+		k.recycle(e)
 		fn()
 	}
 }
@@ -256,7 +291,7 @@ func (k *Kernel) shutdown() {
 			<-k.yield
 		}
 	}
-	k.ready = nil
+	k.ready.reset()
 }
 
 // readyProc appends p to the ready queue. Kernel-internal; called from
@@ -266,7 +301,7 @@ func (k *Kernel) readyProc(p *Proc) {
 		panic(fmt.Sprintf("sim: readying proc %q in state %d", p.name, p.state))
 	}
 	p.state = stateReady
-	k.ready = append(k.ready, p)
+	k.ready.push(p)
 }
 
 // park blocks the calling proc until something readies it. why is shown in
@@ -305,9 +340,11 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	k := p.k
-	k.After(d, func() { k.readyProc(p) })
-	p.park(fmt.Sprintf("sleep until %v", k.now.Add(d)))
+	p.k.After(d, p.wake)
+	// A static reason: a sleeping proc always has a live wakeup event, so
+	// it can never appear in a deadlock report, and formatting the target
+	// time here put a fmt.Sprintf on the simulator's hottest path.
+	p.park("sleep")
 }
 
 // SleepUntil blocks the proc until virtual time t (no-op if already past).
@@ -317,4 +354,48 @@ func (p *Proc) SleepUntil(t Time) {
 		return
 	}
 	p.Sleep(t.Sub(p.k.now))
+}
+
+// procRing is the ready queue: a FIFO over a power-of-two ring buffer
+// with O(1) push and pop. The previous slice-based FIFO shifted every
+// remaining element on each pop, which made a single scheduling decision
+// O(n) once thousands of procs were ready at the same instant (the
+// steady state of a 10k-rank collective).
+type procRing struct {
+	buf  []*Proc
+	head int
+	n    int
+}
+
+func (r *procRing) len() int { return r.n }
+
+func (r *procRing) push(p *Proc) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+// pop removes the oldest proc. Callers must check len first.
+func (r *procRing) pop() *Proc {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+func (r *procRing) reset() { *r = procRing{} }
+
+func (r *procRing) grow() {
+	size := 2 * len(r.buf)
+	if size == 0 {
+		size = 64
+	}
+	buf := make([]*Proc, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
 }

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchmarkYield drives a kernel whose procs do nothing but yield, so the
+// measured cost is pure scheduler work: one ready-queue push and pop plus
+// a context switch per operation. At high proc counts the queue stays
+// full, which is exactly the regime where a shift-based FIFO pays O(n)
+// per pop.
+func benchmarkYield(b *testing.B, procs int) {
+	b.ReportAllocs()
+	iters := b.N/procs + 1
+	k := NewKernel()
+	for i := 0; i < procs; i++ {
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < iters; j++ {
+				p.Yield()
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkReadyQueuePop100Procs(b *testing.B) { benchmarkYield(b, 100) }
+func BenchmarkReadyQueuePop1kProcs(b *testing.B)  { benchmarkYield(b, 1000) }
+func BenchmarkReadyQueuePop10kProcs(b *testing.B) { benchmarkYield(b, 10000) }
+
+// BenchmarkEventSchedule measures Kernel.At/After plus heap and
+// allocation costs: a single proc sleeping b.N times schedules and fires
+// one event per iteration.
+func BenchmarkEventSchedule(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel()
+	k.Spawn("timer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventScheduleFanout measures the event path with a populated
+// heap: 64 procs sleeping concurrently keep ~64 events live, so every
+// push and pop pays a real heap traversal.
+func BenchmarkEventScheduleFanout(b *testing.B) {
+	b.ReportAllocs()
+	const procs = 64
+	iters := b.N/procs + 1
+	k := NewKernel()
+	for i := 0; i < procs; i++ {
+		d := Duration(i + 1)
+		k.Spawn(fmt.Sprintf("t%d", i), func(p *Proc) {
+			for j := 0; j < iters; j++ {
+				p.Sleep(d * Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
