@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci bench results perf
+.PHONY: all build test race vet ci perfcheck bench results perf
 
 all: build
 
@@ -16,10 +16,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# ci is the gate: static checks plus the full test suite under the race
+# ci is the gate: static checks, the full test suite under the race
 # detector (the sweep pool runs simulations on multiple goroutines, so
-# -race exercises the parallel paths, not just the serial ones).
-ci: vet race
+# -race exercises the parallel paths, not just the serial ones), and the
+# simulator-throughput check: the quick perf suite must stay within 30%
+# of the committed BENCH_sim.json on the 64-rank scenarios.
+ci: vet race perfcheck
+
+perfcheck:
+	$(GO) run ./cmd/dpml-bench -perf -quick -baseline BENCH_sim.json -o /dev/null
 
 # bench runs the simulator micro-benchmarks (kernel + fabric hot paths).
 bench:

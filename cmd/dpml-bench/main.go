@@ -21,14 +21,18 @@ import (
 
 func main() {
 	var (
-		figure = flag.String("figure", "all", "figure id (see -list) or 'all'")
-		quick  = flag.Bool("quick", false, "shrink job sizes for a fast run")
-		iters  = flag.Int("iters", 0, "timed iterations per point (0 = default)")
-		warmup = flag.Int("warmup", 0, "warmup iterations per point (0 = default)")
-		jobs   = flag.Int("j", 0, "parallel simulation jobs (0 = all cores, 1 = serial); output is identical for every value")
-		list   = flag.Bool("list", false, "list figure ids and exit")
-		perf   = flag.Bool("perf", false, "run the simulator-throughput suite and emit JSON (BENCH_sim.json schema)")
-		out    = flag.String("o", "", "write output to file instead of stdout")
+		figure   = flag.String("figure", "all", "figure id (see -list) or 'all'")
+		quick    = flag.Bool("quick", false, "shrink job sizes for a fast run")
+		iters    = flag.Int("iters", 0, "timed iterations per point (0 = default)")
+		warmup   = flag.Int("warmup", 0, "warmup iterations per point (0 = default)")
+		jobs     = flag.Int("j", 0, "parallel simulation jobs (0 = all cores, 1 = serial); output is identical for every value")
+		list     = flag.Bool("list", false, "list figure ids and exit")
+		perf     = flag.Bool("perf", false, "run the simulator-throughput suite and emit JSON (BENCH_sim.json schema)")
+		perfOnly = flag.String("perf-only", "", "with -perf: only run scenarios/figures whose name contains this substring")
+		baseline = flag.String("baseline", "", "with -perf: compare against a committed BENCH_sim.json and exit non-zero on >30% events/sec regression in the 64-rank scenarios")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		out      = flag.String("o", "", "write output to file instead of stdout")
 	)
 	flag.Parse()
 
@@ -36,6 +40,16 @@ func main() {
 		fmt.Println(strings.Join(bench.FigureIDs(), "\n"))
 		return
 	}
+
+	stopProf, err := bench.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	w := os.Stdout
 	if *out != "" {
@@ -49,12 +63,22 @@ func main() {
 
 	opt := bench.Options{Quick: *quick, Iters: *iters, Warmup: *warmup, Jobs: *jobs}
 	if *perf {
-		rep, err := bench.SimPerf(opt)
+		rep, err := bench.SimPerfFiltered(opt, *perfOnly)
 		if err != nil {
 			fatal(err)
 		}
 		if err := rep.WriteJSON(w); err != nil {
 			fatal(err)
+		}
+		if *baseline != "" {
+			base, err := bench.ReadPerfReport(*baseline)
+			if err != nil {
+				fatal(err)
+			}
+			if err := bench.CheckRegression(rep, base, 0.30); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, "dpml-bench: 64-rank throughput within 30% of", *baseline)
 		}
 		return
 	}

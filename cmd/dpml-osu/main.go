@@ -37,8 +37,20 @@ func main() {
 		iters       = flag.Int("iters", 5, "timed iterations per size")
 		warmup      = flag.Int("warmup", 1, "warmup iterations per size")
 		jobs        = flag.Int("j", 0, "parallel simulation jobs (0 = all cores, 1 = serial); each size runs its own simulated job, so output is identical for every value")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := bench.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	cl := topology.ByName(*clusterName)
 	if cl == nil {

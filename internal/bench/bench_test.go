@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -199,6 +201,52 @@ func TestFigureDeterministicAcrossJobs(t *testing.T) {
 	}
 	if s, p := serial.String(), parallel.String(); s != p {
 		t.Fatalf("rendered tables differ between -j 1 and -j 8:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+}
+
+// TestFigureMatchesCommittedResults regenerates figures at the exact
+// full-scale settings results/README.md documents and compares them
+// byte-for-byte against the committed tables. This is the end-to-end
+// determinism guarantee the scheduler relies on: any change to event
+// ordering, floating-point summation order, or ready-queue FIFO order
+// shows up here as a diff, not as a silently different paper artifact.
+// fig4 covers the 64x28 multi-leader sweep; fig10 covers the 10,240-rank
+// job whose scale exercises the heap and ready-ring hot paths.
+func TestFigureMatchesCommittedResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale regeneration skipped in -short mode")
+	}
+	cases := []struct {
+		id    string
+		iters int
+		slow  bool
+	}{
+		{"fig4", 2, false},
+		// 10,240 procs at -iters 1 (results/README.md): minutes of wall
+		// time, so it only runs when explicitly requested — it would blow
+		// the default go test timeout in an ordinary ./... sweep.
+		{"fig10", 1, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			if tc.slow && os.Getenv("DPML_FULL_RESULTS") == "" {
+				t.Skip("set DPML_FULL_RESULTS=1 to regenerate the 10,240-rank table")
+			}
+			want, err := os.ReadFile(filepath.Join("..", "..", "results", tc.id+".txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, err := Figure(tc.id, Options{Iters: tc.iters, Warmup: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// dpml-bench renders each table followed by a blank line.
+			got := tab.String() + "\n"
+			if got != string(want) {
+				t.Fatalf("regenerated %s differs from committed results/%s.txt:\n--- got ---\n%s", tc.id, tc.id, got)
+			}
+		})
 	}
 }
 

@@ -11,7 +11,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"dpml/internal/core"
@@ -86,6 +88,14 @@ func perfScenario(name string, cl *topology.Cluster, nodes, ppn int, spec core.S
 // each wall time measures one world; figure regeneration honours opt.Jobs
 // inside each figure but times figures one at a time for the same reason.
 func SimPerf(opt Options) (*PerfReport, error) {
+	return SimPerfFiltered(opt, "")
+}
+
+// SimPerfFiltered is SimPerf restricted to scenarios and figures whose
+// name contains match (empty matches everything) — the profiling workflow
+// is `dpml-bench -perf -perf-only dpml16 -cpuprofile cpu.pb.gz`, which
+// times exactly one workload.
+func SimPerfFiltered(opt Options, match string) (*PerfReport, error) {
 	opt = opt.withDefaults()
 	rep := &PerfReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -113,6 +123,9 @@ func SimPerf(opt Options) (*PerfReport, error) {
 		{"allreduce-dpml16-64KB-160x64", topology.ClusterD(), 160, 64, core.DPML(16), 64 << 10, 2},
 	}
 	for _, sc := range scenarios {
+		if match != "" && !strings.Contains(sc.name, match) {
+			continue
+		}
 		s, err := perfScenario(sc.name, sc.cl, sc.nodes, sc.ppn, sc.spec, sc.bytes, sc.iters)
 		if err != nil {
 			return nil, err
@@ -121,6 +134,9 @@ func SimPerf(opt Options) (*PerfReport, error) {
 	}
 
 	for _, id := range FigureIDs() {
+		if match != "" && !strings.Contains(id, match) {
+			continue
+		}
 		start := time.Now()
 		if _, err := Figure(id, opt); err != nil {
 			return nil, fmt.Errorf("%s: %w", id, err)
@@ -131,9 +147,50 @@ func SimPerf(opt Options) (*PerfReport, error) {
 	return rep, nil
 }
 
+// CheckRegression compares r against a committed baseline report and
+// returns an error naming every scenario whose events/sec fell below
+// (1 - tol) of the baseline. Only small (64-proc) scenarios gate CI: the
+// 10k-rank scenario's wall time is noisy on loaded runners, and the small
+// ones already exercise every kernel hot path. Scenarios present on only
+// one side are ignored (adding a scenario must not break CI).
+func CheckRegression(r, baseline *PerfReport, tol float64) error {
+	base := make(map[string]PerfScenario, len(baseline.Scenarios))
+	for _, s := range baseline.Scenarios {
+		base[s.Name] = s
+	}
+	var bad []string
+	for _, s := range r.Scenarios {
+		b, ok := base[s.Name]
+		if !ok || b.Procs > 64 || b.EventsPerSec <= 0 {
+			continue
+		}
+		if s.EventsPerSec < (1-tol)*b.EventsPerSec {
+			bad = append(bad, fmt.Sprintf("%s: %.0f events/sec vs baseline %.0f (-%.0f%%, tolerance %.0f%%)",
+				s.Name, s.EventsPerSec, b.EventsPerSec, 100*(1-s.EventsPerSec/b.EventsPerSec), 100*tol))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("simulator throughput regression:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
 // WriteJSON renders the report as indented JSON.
 func (r *PerfReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ReadPerfReport loads a committed BENCH_sim.json.
+func ReadPerfReport(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r PerfReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
 }

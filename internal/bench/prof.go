@@ -1,0 +1,51 @@
+package bench
+
+// prof.go gives every CLI the same two profiling flags so perf PRs can
+// ship pprof evidence instead of guesses: StartProfiles begins a CPU
+// profile immediately and the returned stop function writes the heap
+// profile at exit. Both paths are no-ops when the corresponding flag is
+// empty.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts a CPU profile to cpuPath (if non-empty) and
+// returns a stop function that ends it and writes an allocation-site
+// heap profile to memPath (if non-empty). Callers should defer the stop
+// function; it reports any error writing the heap profile.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("mem profile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile is accurate
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("mem profile: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -286,22 +286,28 @@ func (n *FlowNet) compact() {
 	n.active = active
 }
 
-// reschedule refreshes completion events after a water-fill.
+// reschedule refreshes completion events after a water-fill. A flow's
+// event is pending from the first fill after Start until complete nils
+// it, so re-fitting is an in-place Kernel.Reschedule — no cancelled
+// tombstones pile up in the event heap and the completion closure is
+// allocated once per flow, not once per rate change.
 func (n *FlowNet) reschedule(now sim.Time) {
 	for _, f := range n.active {
 		// An unchanged rate means the previously scheduled completion
 		// time is still exact (fluid drain is linear); skipping the
-		// reschedule avoids re-heapifying thousands of events when a
+		// reschedule avoids re-keying thousands of events when a
 		// recompute leaves most flows untouched.
-		if f.event != nil && !f.event.Cancelled() && f.rate == f.prevRate {
+		if f.event != nil && f.rate == f.prevRate {
 			continue
 		}
 		d := sim.TransferTime(int64(math.Ceil(f.remaining)), f.rate)
 		at := now.Add(d)
-		if f.event != nil && f.event.When() == at && !f.event.Cancelled() {
+		if f.event != nil {
+			if f.event.When() != at {
+				n.k.Reschedule(f.event, at)
+			}
 			continue
 		}
-		f.event.Cancel()
 		ff := f
 		f.event = n.k.At(at, func() { n.complete(ff) })
 	}

@@ -46,7 +46,7 @@ func (r *Rank) Isend(c *Comm, dst, tag int, vec *Vector) *Request {
 		// message is visible to the receiver.
 		cross := r.place.Socket != dstRank.place.Socket
 		r.MemCopy(cross, vec.Bytes())
-		dstRank.deliver(&envelope{key: key, vec: vec.Clone(), srcRank: r})
+		dstRank.deliver(&envelope{key: key, vec: r.w.transitClone(vec), srcRank: r})
 		req.complete()
 		return req
 	}
@@ -58,7 +58,7 @@ func (r *Rank) Isend(c *Comm, dst, tag int, vec *Vector) *Request {
 		if d := r.ep.InjectDelay(); d > 0 {
 			r.proc.Sleep(d)
 		}
-		env := &envelope{key: key, vec: vec.Clone(), srcRank: r, recvOverhead: prof.ReceiverOverhead + r.w.jitter()}
+		env := &envelope{key: key, vec: r.w.transitClone(vec), srcRank: r, recvOverhead: prof.ReceiverOverhead + r.w.jitter()}
 		r.w.Net.StartTransfer(r.ep, dstRank.ep, int64(vec.Bytes()), func() { dstRank.deliver(env) })
 		req.complete()
 		return req
@@ -148,6 +148,13 @@ func (r *Rank) completeRecv(env *envelope, req *Request) {
 			req.vec.Bytes(), env.vec.Bytes(), env.key))
 	}
 	req.vec.CopyFrom(env.vec)
+	if !env.rendezvous {
+		// Eager payloads ride in a transit clone that dies here; recycle
+		// it. Rendezvous envelopes carry the sender's own buffer, which
+		// the pool must never capture.
+		r.w.transitRelease(env.vec)
+	}
+	env.vec = nil
 	if env.recvOverhead > 0 {
 		r.w.Kernel.After(env.recvOverhead, req.complete)
 	} else {

@@ -53,6 +53,7 @@ type World struct {
 	nextCID   int
 	rng       uint64 // jitter stream state
 	commCache map[string]*Comm
+	vecPool   map[vecShape][]*Vector // free list for in-flight payload clones (see pool.go)
 }
 
 // NewWorld builds the simulated job.

@@ -1,10 +1,10 @@
 package sim
 
 // Event is a scheduled callback in virtual time. Events are created with
-// Kernel.At and may be cancelled before they fire. The callback runs in
-// kernel context: it must not block, but it may schedule further events,
-// ready parked procs, and mutate simulation state freely (the kernel is
-// single-threaded with respect to simulation state).
+// Kernel.At and may be cancelled or rescheduled before they fire. The
+// callback runs in kernel context: it must not block, but it may schedule
+// further events, ready parked procs, and mutate simulation state freely
+// (the kernel is single-threaded with respect to simulation state).
 //
 // Event objects are pooled by the kernel: a handle is only valid until
 // the event fires (or, once cancelled, until the kernel discards it).
@@ -15,11 +15,13 @@ type Event struct {
 	seq       uint64 // tiebreaker: FIFO among events at the same instant
 	fn        func()
 	cancelled bool
-	index     int // heap index, -1 once popped
+	index     int32 // current heap slot; -1 once popped
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. Cancellation is lazy: the event
+// stays in the heap until it surfaces, so heavy cancel/re-add traffic
+// should use Kernel.Reschedule instead.
 func (e *Event) Cancel() {
 	if e != nil {
 		e.cancelled = true
@@ -33,32 +35,123 @@ func (e *Event) Cancelled() bool { return e == nil || e.cancelled }
 // When returns the instant the event is scheduled to fire at.
 func (e *Event) When() Time { return e.at }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*Event
+// eventEntry is one heap slot. The ordering key (at, seq) is stored by
+// value so comparisons stay inside the backing array: with ~10k pending
+// events (one per rank of a large collective), a pointer-chasing
+// comparator made the heap the simulator's single hottest path — every
+// sift dereferenced two cold *Event allocations per level.
+type eventEntry struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventHeap is a 4-ary min-heap ordered by (at, seq). seq is unique, so
+// the order is a strict total order and pop order is identical for any
+// correct heap — switching arity or sift strategy cannot perturb
+// simulation behavior. 4-ary halves the depth of a binary heap and its
+// children share cache lines, which matters at 10k+ pending events.
+// Sifts move a hole instead of swapping, writing each slot once, and
+// maintain each event's index so update can re-key it in place.
+type eventHeap struct {
+	a []eventEntry
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+func entryLess(x, y eventEntry) bool {
+	return x.at < y.at || (x.at == y.at && x.seq < y.seq)
+}
+
+func (h *eventHeap) push(e *Event) {
+	h.a = append(h.a, eventEntry{at: e.at, seq: e.seq, ev: e})
+	h.siftUp(len(h.a) - 1)
+}
+
+// pop removes and returns the earliest event. Callers must check len
+// first.
+func (h *eventHeap) pop() *Event {
+	a := h.a
+	top := a[0].ev
+	top.index = -1
+	n := len(a) - 1
+	x := a[n]
+	a[n] = eventEntry{}
+	h.a = a[:n]
+	if n > 0 {
+		a[0] = x
+		x.ev.index = 0
+		h.siftDown(0)
 	}
-	return h[i].seq < h[j].seq
+	return top
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// update re-keys the event at heap slot e.index to (at, seq) and restores
+// heap order, without allocating or leaving a tombstone behind.
+func (h *eventHeap) update(e *Event, at Time, seq uint64) {
+	i := int(e.index)
+	e.at, e.seq = at, seq
+	h.a[i].at, h.a[i].seq = at, seq
+	if !h.siftUp(i) {
+		h.siftDown(i)
+	}
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+func (h *eventHeap) siftUp(i int) bool {
+	a := h.a
+	x := a[i]
+	moved := false
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !entryLess(x, a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		a[i].ev.index = int32(i)
+		i = parent
+		moved = true
+	}
+	a[i] = x
+	x.ev.index = int32(i)
+	return moved
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) siftDown(i int) {
+	a := h.a
+	n := len(a)
+	x := a[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(a[j], a[m]) {
+				m = j
+			}
+		}
+		if !entryLess(a[m], x) {
+			break
+		}
+		a[i] = a[m]
+		a[i].ev.index = int32(i)
+		i = m
+	}
+	a[i] = x
+	x.ev.index = int32(i)
+}
+
+// peekAt returns the (at, seq) key of the earliest pending event without
+// removing it. The entry may be cancelled; fast-path callers must treat
+// that conservatively (a cancelled top only ever delays a fast path).
+func (h *eventHeap) peekAt() (Time, bool) {
+	if len(h.a) == 0 {
+		return 0, false
+	}
+	return h.a[0].at, true
 }

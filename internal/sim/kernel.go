@@ -1,22 +1,31 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
 // The kernel runs simulated processes ("procs") as goroutines but executes
-// exactly one of them at a time, handing a run token back and forth. All
+// exactly one of them at a time, passing a single run token around. All
 // simulation state is therefore mutated without data races and every run
 // is bit-for-bit reproducible: scheduling is decided only by the virtual
 // clock, a FIFO ready queue, and an event heap with a sequence-number
 // tiebreaker.
 //
+// Scheduling is direct handoff ("hot potato"): there is no resident
+// scheduler goroutine. The scheduler step — ready-queue pop, event-heap
+// pop, clock advance, deadlock detection — executes inline in whichever
+// proc is currently giving up the token, which then hands the token
+// straight to the next proc (one goroutine switch per decision, not two).
+// When the parking proc turns out to be the next to run — in particular
+// when it sleeps and its own wakeup is the earliest live event — it
+// continues without any switch at all.
+//
 // Procs interact with the kernel through blocking primitives (Sleep,
 // Signal.Wait, Semaphore.Acquire, Queue.Recv). When every proc is parked,
-// the kernel pops the earliest event, advances the virtual clock to it,
-// and fires its callback, which typically readies one or more procs. If
-// the ready queue and event heap are both empty while procs remain parked,
-// the kernel reports a deadlock naming each blocked proc.
+// the inline scheduler pops the earliest event, advances the virtual clock
+// to it, and fires its callback, which typically readies one or more
+// procs. If the ready queue and event heap are both empty while procs
+// remain parked, the run ends with a deadlock report naming each blocked
+// proc.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -95,11 +104,23 @@ type Kernel struct {
 	ready procRing // FIFO
 	alive int
 
-	yield   chan struct{} // proc -> kernel: I parked/finished
-	started bool
-	failure error // first proc panic, aborts the run
+	// mainWake resumes Kernel.Run when the simulation terminates
+	// (completion, deadlock, or proc panic), and serves as the unwind
+	// handshake during shutdown. Buffered so the terminating token
+	// holder never blocks on it.
+	mainWake     chan struct{}
+	started      bool
+	shuttingDown bool  // exit paths hand back to shutdown(), not schedule()
+	termErr      error // deadlock error, nil on clean completion
+	failure      error // first proc panic, aborts the run
 
 	// Stats counts scheduler activity; useful in tests and reports.
+	// ContextSwitch counts actual goroutine handoffs of the run token.
+	// The previous two-hop scheduler (proc -> kernel goroutine -> proc)
+	// paid two switches per scheduling decision and reported one;
+	// direct handoff pays one, and zero when a proc resumes itself
+	// (sleep/yield fast paths), so the reported count now matches what
+	// the host actually pays.
 	Stats struct {
 		Events        uint64
 		ContextSwitch uint64
@@ -108,7 +129,7 @@ type Kernel struct {
 
 // NewKernel returns an empty kernel at virtual time zero.
 func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	return &Kernel{mainWake: make(chan struct{}, 1)}
 }
 
 // Now returns the current virtual time.
@@ -141,7 +162,7 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	} else {
 		e = &Event{at: t, seq: k.seq, fn: fn}
 	}
-	heap.Push(&k.events, e)
+	k.events.push(e)
 	return e
 }
 
@@ -155,14 +176,36 @@ func (k *Kernel) recycle(e *Event) {
 // popEvent removes and returns the earliest live event, discarding (and
 // recycling) cancelled ones. Returns nil when no live event remains.
 func (k *Kernel) popEvent() *Event {
-	for k.events.Len() > 0 {
-		e := heap.Pop(&k.events).(*Event)
+	for k.events.len() > 0 {
+		e := k.events.pop()
 		if !e.cancelled {
 			return e
 		}
 		k.recycle(e)
 	}
 	return nil
+}
+
+// Reschedule moves a pending event to fire at t instead, keeping its
+// callback. It is exactly equivalent to cancelling e and scheduling a
+// fresh event with At — the event is re-keyed with the next sequence
+// number, so its ordering relative to every other event is identical —
+// but it updates the heap in place instead of leaving a cancelled
+// tombstone behind. Callers that adjust event times in bulk (the flow
+// scheduler re-fits completion times after every rate change) must use
+// this: with 10k concurrent flows, cancel-and-replace made five of every
+// six heap entries garbage and tripled the heap's depth.
+//
+// e must be pending: not nil, not cancelled, not yet fired.
+func (k *Kernel) Reschedule(e *Event, t Time) {
+	if e == nil || e.cancelled || e.index < 0 {
+		panic("sim: Reschedule of a dead event")
+	}
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	k.events.update(e, t, k.seq)
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -181,10 +224,13 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 		panic("sim: Spawn after Run")
 	}
 	p := &Proc{
-		k:     k,
-		id:    len(k.procs),
-		name:  name,
-		run:   make(chan struct{}),
+		k:    k,
+		id:   len(k.procs),
+		name: name,
+		// Buffered: the handing-off goroutine deposits the token and
+		// returns to its own wait without rendezvousing, so a wakeup
+		// can never block the waker.
+		run:   make(chan struct{}, 1),
 		state: stateReady,
 	}
 	p.wake = func() { k.readyProc(p) }
@@ -196,11 +242,11 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(errKilled); ok {
-					// Unwound by kernel shutdown: hand the token back
-					// without touching failure state.
+					// Unwound by kernel shutdown: hand the token back to
+					// the shutdown loop without touching failure state.
 					p.state = stateDone
 					k.alive--
-					k.yield <- struct{}{}
+					k.mainWake <- struct{}{}
 					return
 				}
 				if k.failure == nil {
@@ -209,7 +255,15 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 			}
 			p.state = stateDone
 			k.alive--
-			k.yield <- struct{}{}
+			if k.shuttingDown {
+				// A killed proc recovered errKilled itself (or finished
+				// while unwinding); still hand back to the shutdown loop.
+				k.mainWake <- struct{}{}
+				return
+			}
+			// Direct handoff: the exiting proc runs the scheduler and
+			// passes the token to the next proc (or ends the run).
+			k.schedule(nil)
 		}()
 		if p.killed {
 			panic(errKilled{})
@@ -222,15 +276,46 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 // Run drives the simulation until every proc has finished and no live
 // events remain. It returns a *DeadlockError if procs are stuck, or a
 // *PanicError if a proc panicked. Run may only be called once.
+//
+// Run is only a bootstrap/teardown shell: it hands the token to the first
+// proc and sleeps until a token holder declares the run over; scheduling
+// decisions happen inline in the procs themselves (see schedule).
 func (k *Kernel) Run() error {
 	if k.started {
 		panic("sim: Run called twice")
 	}
 	k.started = true
+	k.schedule(nil)
+	<-k.mainWake
+	if k.failure != nil {
+		k.shutdown()
+		return k.failure
+	}
+	if k.termErr != nil {
+		k.shutdown()
+		return k.termErr
+	}
+	return nil
+}
+
+// schedule is the scheduler step, executed inline by the current token
+// holder when it gives up the token: a parking proc, an exiting proc
+// (self == nil), or Run at bootstrap (self == nil). It fires due events
+// until a proc is runnable, then hands the token over. It returns true
+// if self was selected to keep running — the caller continues without
+// any goroutine switch — and false if the token went elsewhere (or the
+// run terminated), in which case a parking caller must wait on its own
+// run channel.
+//
+// After the `p.run <-` send the caller may execute a few more
+// instructions before blocking, concurrently with the woken proc; it
+// must touch no simulation state in that window (the send is the last
+// shared-state operation on every path).
+func (k *Kernel) schedule(self *Proc) bool {
 	for {
 		if k.failure != nil {
-			k.shutdown()
-			return k.failure
+			k.terminate(nil)
+			return false
 		}
 		if k.ready.len() > 0 {
 			p := k.ready.pop()
@@ -238,19 +323,21 @@ func (k *Kernel) Run() error {
 				continue
 			}
 			p.state = stateRunning
+			if p == self {
+				return true
+			}
 			k.Stats.ContextSwitch++
 			p.run <- struct{}{}
-			<-k.yield
-			continue
+			return false
 		}
 		e := k.popEvent()
 		if e == nil {
 			if k.alive == 0 {
-				return nil
+				k.terminate(nil) // clean completion
+			} else {
+				k.terminate(k.deadlock())
 			}
-			err := k.deadlock()
-			k.shutdown()
-			return err
+			return false
 		}
 		if e.at > k.now {
 			k.now = e.at
@@ -260,6 +347,15 @@ func (k *Kernel) Run() error {
 		k.recycle(e)
 		fn()
 	}
+}
+
+// terminate ends the run: it records the verdict and wakes Run, which
+// owns teardown. Called exactly once per run, by whichever token holder
+// discovers termination. The deadlocked/parked procs (including, for a
+// deadlock, the very proc that detected it) are unwound by shutdown.
+func (k *Kernel) terminate(err error) {
+	k.termErr = err
+	k.mainWake <- struct{}{}
 }
 
 // deadlock builds the error naming every parked proc.
@@ -275,20 +371,22 @@ func (k *Kernel) deadlock() *DeadlockError {
 }
 
 // shutdown unwinds every parked proc so no goroutines leak after a failed
-// run.
+// run. It runs on the Run goroutine, which holds the token once terminate
+// has fired; unwinding procs hand back via mainWake, not the scheduler.
 func (k *Kernel) shutdown() {
+	k.shuttingDown = true
 	for _, p := range k.procs {
 		if p.state == stateBlocked || p.state == stateReady {
 			p.killed = true
 		}
 	}
 	// Wake parked procs one at a time; each unwinds via errKilled and
-	// yields back. Ready-but-never-run procs are woken the same way.
+	// hands back. Ready-but-never-run procs are woken the same way.
 	for _, p := range k.procs {
 		if p.state == stateBlocked || p.state == stateReady {
 			p.state = stateRunning
 			p.run <- struct{}{}
-			<-k.yield
+			<-k.mainWake
 		}
 	}
 	k.ready.reset()
@@ -305,29 +403,45 @@ func (k *Kernel) readyProc(p *Proc) {
 }
 
 // park blocks the calling proc until something readies it. why is shown in
-// deadlock reports.
+// deadlock reports. The parking proc runs the scheduler inline; if it
+// readies itself before anything else becomes runnable (firing its own
+// wakeup event, say), it resumes with zero goroutine switches.
 func (p *Proc) park(why string) {
-	p.state = stateBlocked
-	p.blockedOn = why
-	p.k.yield <- struct{}{}
-	<-p.run
 	if p.killed {
 		panic(errKilled{})
+	}
+	p.state = stateBlocked
+	p.blockedOn = why
+	if !p.k.schedule(p) {
+		<-p.run
+		if p.killed {
+			panic(errKilled{})
+		}
 	}
 	p.blockedOn = ""
 }
 
 // yieldNow gives other ready procs a chance to run at the same instant.
+// With an empty ready queue nothing could interleave, so it returns
+// immediately without touching the scheduler.
 func (p *Proc) yieldNow(why string) {
-	k := p.k
-	p.state = stateBlocked
-	p.blockedOn = why
-	k.readyProc(p)
-	k.yield <- struct{}{}
-	<-p.run
 	if p.killed {
 		panic(errKilled{})
 	}
+	k := p.k
+	if k.ready.len() == 0 {
+		return
+	}
+	p.state = stateBlocked
+	p.blockedOn = why
+	k.readyProc(p)
+	if !k.schedule(p) {
+		<-p.run
+		if p.killed {
+			panic(errKilled{})
+		}
+	}
+	p.blockedOn = ""
 }
 
 // Yield lets all other currently-ready procs run before continuing.
@@ -340,7 +454,23 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.k.After(d, p.wake)
+	k := p.k
+	// Zero-handoff fast path: if no proc is ready and no event precedes
+	// this proc's own wakeup, the wakeup is by construction the next
+	// thing to happen (it would carry the highest sequence number, so
+	// any event at the same instant fires first — hence the strict >).
+	// Advance the clock and keep running: no event scheduled, no park,
+	// no goroutine switch. Common in per-hop pipelined loops where one
+	// rank repeatedly sleeps for transfer or overhead durations.
+	if k.ready.len() == 0 {
+		wakeAt := k.now.Add(d)
+		if at, ok := k.events.peekAt(); !ok || at > wakeAt {
+			k.now = wakeAt
+			k.Stats.Events++ // stands in for the skipped wakeup event
+			return
+		}
+	}
+	k.After(d, p.wake)
 	// A static reason: a sleeping proc always has a live wakeup event, so
 	// it can never appear in a deadlock report, and formatting the target
 	// time here put a fmt.Sprintf on the simulator's hottest path.
