@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci perfcheck bench results perf
+.PHONY: all build test race vet ci perfcheck faultsmoke bench results perf
 
 all: build
 
@@ -18,13 +18,22 @@ race:
 
 # ci is the gate: static checks, the full test suite under the race
 # detector (the sweep pool runs simulations on multiple goroutines, so
-# -race exercises the parallel paths, not just the serial ones), and the
-# simulator-throughput check: the quick perf suite must stay within 30%
-# of the committed BENCH_sim.json on the 64-rank scenarios.
-ci: vet race perfcheck
+# -race exercises the parallel paths, not just the serial ones), the
+# simulator-throughput check (the quick perf suite must stay within 30%
+# of the committed BENCH_sim.json on the 64-rank scenarios), and the
+# fault-matrix smoke pass.
+ci: vet race perfcheck faultsmoke
 
 perfcheck:
 	$(GO) run ./cmd/dpml-bench -perf -quick -baseline BENCH_sim.json -o /dev/null
+
+# faultsmoke runs the fault-injection and watchdog tests twice (-count=2):
+# every fault class against a design (bench fault matrix), graceful SHArP
+# degradation, watchdog diagnostics, and sweep job limits. The second run
+# must reproduce the first bit for bit — seeded plans are deterministic.
+faultsmoke:
+	$(GO) test -count=2 -run 'Fault|Watchdog|Straggler|Sharp|Spec|Instantiate|Validate|Limited' \
+		./internal/faults/ ./internal/fabric/ ./internal/mpi/ ./internal/core/ ./internal/bench/ ./internal/sweep/
 
 # bench runs the simulator micro-benchmarks (kernel + fabric hot paths).
 bench:
@@ -33,7 +42,7 @@ bench:
 # results regenerates every committed table in results/ (see results/README.md).
 results:
 	for f in fig1a fig1b fig1c fig1d fig4 fig5 fig6 fig7 fig8a fig8b fig8c \
-	         fig9a fig9b fig9c fig9d fig11a fig11b fig11c model phases pipeline noise; do \
+	         fig9a fig9b fig9c fig9d fig11a fig11b fig11c model phases pipeline noise faults; do \
 		$(GO) run ./cmd/dpml-bench -figure $$f -iters 2 -warmup 1 -o results/$$f.txt || exit 1; \
 	done
 	$(GO) run ./cmd/dpml-bench -figure fig10 -iters 1 -warmup 1 -o results/fig10.txt

@@ -14,27 +14,41 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dpml/internal/bench"
+	"dpml/internal/faults"
+	"dpml/internal/sim"
 	"dpml/internal/sweep"
 )
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure id (see -list) or 'all'")
-		quick    = flag.Bool("quick", false, "shrink job sizes for a fast run")
-		iters    = flag.Int("iters", 0, "timed iterations per point (0 = default)")
-		warmup   = flag.Int("warmup", 0, "warmup iterations per point (0 = default)")
-		jobs     = flag.Int("j", 0, "parallel simulation jobs (0 = all cores, 1 = serial); output is identical for every value")
-		list     = flag.Bool("list", false, "list figure ids and exit")
-		perf     = flag.Bool("perf", false, "run the simulator-throughput suite and emit JSON (BENCH_sim.json schema)")
-		perfOnly = flag.String("perf-only", "", "with -perf: only run scenarios/figures whose name contains this substring")
-		baseline = flag.String("baseline", "", "with -perf: compare against a committed BENCH_sim.json and exit non-zero on >30% events/sec regression in the 64-rank scenarios")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		out      = flag.String("o", "", "write output to file instead of stdout")
+		figure    = flag.String("figure", "all", "figure id (see -list) or 'all'")
+		quick     = flag.Bool("quick", false, "shrink job sizes for a fast run")
+		iters     = flag.Int("iters", 0, "timed iterations per point (0 = default)")
+		warmup    = flag.Int("warmup", 0, "warmup iterations per point (0 = default)")
+		jobs      = flag.Int("j", 0, "parallel simulation jobs (0 = all cores, 1 = serial); output is identical for every value")
+		list      = flag.Bool("list", false, "list figure ids and exit")
+		perf      = flag.Bool("perf", false, "run the simulator-throughput suite and emit JSON (BENCH_sim.json schema)")
+		perfOnly  = flag.String("perf-only", "", "with -perf: only run scenarios/figures whose name contains this substring")
+		baseline  = flag.String("baseline", "", "with -perf: compare against a committed BENCH_sim.json and exit non-zero on >30% events/sec regression in the 64-rank scenarios")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		out       = flag.String("o", "", "write output to file instead of stdout")
+		faultSpec = flag.String("faults", "", "inject a seeded fault plan into allreduce-latency figures: comma-separated classes with optional @intensity, e.g. 'straggler@0.25,link' or 'all@0.8' (empty = healthy fabric); also selects the classes the 'faults' figure sweeps")
+		faultSeed = flag.Uint64("fault-seed", 0, "seed for fault-plan instantiation; different seeds fault different ranks, links, and windows")
+		watchdog  = flag.Duration("watchdog", 0, "virtual-time deadline per simulated job (e.g. 500ms); a job not finished by then aborts with a diagnostic naming the blocked ranks (0 = off)")
 	)
 	flag.Parse()
+
+	spec, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if spec != nil {
+		spec.Seed = *faultSeed
+	}
 
 	if *list {
 		fmt.Println(strings.Join(bench.FigureIDs(), "\n"))
@@ -61,7 +75,10 @@ func main() {
 		w = f
 	}
 
-	opt := bench.Options{Quick: *quick, Iters: *iters, Warmup: *warmup, Jobs: *jobs}
+	opt := bench.Options{
+		Quick: *quick, Iters: *iters, Warmup: *warmup, Jobs: *jobs,
+		FaultSpec: spec, FaultSeed: *faultSeed, Watchdog: sim.Duration(*watchdog / time.Nanosecond),
+	}
 	if *perf {
 		rep, err := bench.SimPerfFiltered(opt, *perfOnly)
 		if err != nil {

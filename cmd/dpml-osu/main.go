@@ -14,9 +14,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dpml/internal/bench"
 	"dpml/internal/core"
+	"dpml/internal/faults"
 	"dpml/internal/mpi"
 	"dpml/internal/sim"
 	"dpml/internal/sweep"
@@ -39,6 +41,9 @@ func main() {
 		jobs        = flag.Int("j", 0, "parallel simulation jobs (0 = all cores, 1 = serial); each size runs its own simulated job, so output is identical for every value")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		faultSpec   = flag.String("faults", "", "inject a seeded fault plan: comma-separated classes with optional @intensity, e.g. 'straggler@0.25,link' or 'all@0.8' (empty = healthy fabric)")
+		faultSeed   = flag.Uint64("fault-seed", 0, "seed for fault-plan instantiation")
+		watchdog    = flag.Duration("watchdog", 0, "virtual-time deadline per simulated job; a job not finished by then aborts with a diagnostic naming the blocked ranks (0 = off)")
 	)
 	flag.Parse()
 
@@ -55,6 +60,19 @@ func main() {
 	cl := topology.ByName(*clusterName)
 	if cl == nil {
 		fatal(fmt.Errorf("unknown cluster %q", *clusterName))
+	}
+	spec, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if spec != nil {
+		spec.Seed = *faultSeed
+	}
+	cfg := mpi.Config{
+		Watchdog: sim.Duration(*watchdog / time.Nanosecond),
+		Faults: spec.Instantiate(faults.Shape{
+			Ranks: *nodes * *ppn, Nodes: *nodes, HCAs: cl.HCAs,
+		}),
 	}
 	var sizes []int
 	for _, s := range strings.Split(*sizesFlag, ",") {
@@ -88,7 +106,7 @@ func main() {
 	// per-size results match the one-world sweep bit for bit), fanned
 	// across -j workers and printed in request order.
 	lat, err := sweep.Map(*jobs, sizes, func(_ int, bytes int) (sim.Duration, error) {
-		one, err := bench.AllreduceLatency(cl, *nodes, *ppn, choose, []int{bytes}, *iters, *warmup)
+		one, err := bench.AllreduceLatencyCfg(cfg, cl, *nodes, *ppn, choose, []int{bytes}, *iters, *warmup)
 		if err != nil {
 			return 0, err
 		}

@@ -7,6 +7,7 @@ import (
 	"dpml/internal/apps/miniamr"
 	"dpml/internal/core"
 	"dpml/internal/costmodel"
+	"dpml/internal/faults"
 	"dpml/internal/mpi"
 	"dpml/internal/sim"
 	"dpml/internal/sweep"
@@ -27,6 +28,32 @@ type Options struct {
 	// and share no state, and results are collected in submission order,
 	// so output is byte-identical for every value of Jobs.
 	Jobs int
+
+	// FaultSpec, when non-nil, injects a deterministic fault plan
+	// (instantiated per job shape) into every allreduce-latency figure;
+	// the "faults" figure uses its classes in place of the default full
+	// set. Nil leaves every run on the healthy fabric, bit-identical to
+	// a build without the fault layer.
+	FaultSpec *faults.Spec
+	// FaultSeed is the base seed the "faults" figure derives its plans
+	// from; different seeds draw different ranks, windows, and factors.
+	FaultSeed uint64
+	// Watchdog, when positive, arms the per-job virtual-time watchdog:
+	// a simulated job that has not completed by this virtual deadline
+	// aborts with a diagnostic error instead of running forever.
+	Watchdog sim.Duration
+}
+
+// latencyConfig builds the per-job world config for a latency run on the
+// given shape, applying the options' fault spec and watchdog. Default
+// options yield the zero config (healthy fabric, no watchdog).
+func (o Options) latencyConfig(cl *topology.Cluster, nodes, ppn int) mpi.Config {
+	return mpi.Config{
+		Watchdog: o.Watchdog,
+		Faults: o.FaultSpec.Instantiate(faults.Shape{
+			Ranks: nodes * ppn, Nodes: nodes, HCAs: cl.HCAs,
+		}),
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -52,7 +79,7 @@ func FigureIDs() []string {
 		"fig9a", "fig9b", "fig9c", "fig9d",
 		"fig10",
 		"fig11a", "fig11b", "fig11c",
-		"model", "phases", "pipeline", "noise", "eager",
+		"model", "phases", "pipeline", "noise", "eager", "faults",
 	}
 }
 
@@ -108,6 +135,8 @@ func Figure(id string, opt Options) (*Table, error) {
 		return noiseSensitivity(id, opt)
 	case "eager":
 		return eagerAblation(id, opt)
+	case "faults":
+		return faultSweep(id, opt)
 	}
 	return nil, fmt.Errorf("bench: unknown figure %q (known: %v)", id, FigureIDs())
 }
@@ -184,7 +213,7 @@ func leaderSweep(id string, cl *topology.Cluster, nodes, ppn int, opt Options) (
 	}
 	sizes := sweepSizes(opt.Quick)
 	series, err := sweep.Map(opt.Jobs, leaderCandidates(ppn), func(_ int, l int) (Series, error) {
-		return LatencySeries(fmt.Sprintf("%d-leader", l), cl, nodes, ppn,
+		return LatencySeriesCfg(opt.latencyConfig(cl, nodes, ppn), fmt.Sprintf("%d-leader", l), cl, nodes, ppn,
 			FixedSpec(core.DPML(l)), sizes, opt.Iters, opt.Warmup)
 	})
 	if err != nil {
@@ -233,7 +262,8 @@ func sharpComparison(id string, ppn int, opt Options) (*Table, error) {
 	sizes := smallSizes(opt.Quick)
 	cases := sharpCases()
 	series, err := sweep.Map(opt.Jobs, cases, func(_ int, cse sharpCase) (Series, error) {
-		return LatencySeries(cse.label, cl, nodes, ppn, FixedSpec(cse.spec), sizes, opt.Iters, opt.Warmup)
+		return LatencySeriesCfg(opt.latencyConfig(cl, nodes, ppn), cse.label, cl, nodes, ppn,
+			FixedSpec(cse.spec), sizes, opt.Iters, opt.Warmup)
 	})
 	if err != nil {
 		return nil, err
@@ -262,7 +292,8 @@ func libraryComparison(id string, cl *topology.Cluster, nodes, ppn int, withInte
 	libs = append(libs, core.LibProposed)
 	sizes := sweepSizes(opt.Quick)
 	series, err := sweep.Map(opt.Jobs, libs, func(_ int, lib core.Library) (Series, error) {
-		return LatencySeries(string(lib), cl, nodes, ppn, LibrarySpec(lib), sizes, opt.Iters, opt.Warmup)
+		return LatencySeriesCfg(opt.latencyConfig(cl, nodes, ppn), string(lib), cl, nodes, ppn,
+			LibrarySpec(lib), sizes, opt.Iters, opt.Warmup)
 	})
 	if err != nil {
 		return nil, err
@@ -392,7 +423,8 @@ func modelComparison(id string, opt Options) (*Table, error) {
 	cand := leaderCandidates(ppn)
 	// The analytic points are arithmetic; only the simulations fan out.
 	lats, err := sweep.Map(opt.Jobs, cand, func(_ int, l int) (sim.Duration, error) {
-		lat, err := AllreduceLatency(cl, nodes, ppn, FixedSpec(core.DPML(l)), []int{bytes}, opt.Iters, opt.Warmup)
+		lat, err := AllreduceLatencyCfg(opt.latencyConfig(cl, nodes, ppn), cl, nodes, ppn,
+			FixedSpec(core.DPML(l)), []int{bytes}, opt.Iters, opt.Warmup)
 		if err != nil {
 			return 0, err
 		}

@@ -34,6 +34,13 @@ func LibrarySpec(lib core.Library) SpecChooser {
 // job. Payloads are phantom float32 vectors (MPI_FLOAT/MPI_SUM, the
 // paper's microbenchmark configuration).
 func AllreduceLatency(cl *topology.Cluster, nodes, ppn int, choose SpecChooser, sizes []int, iters, warmup int) ([]sim.Duration, error) {
+	return AllreduceLatencyCfg(mpi.Config{}, cl, nodes, ppn, choose, sizes, iters, warmup)
+}
+
+// AllreduceLatencyCfg is AllreduceLatency with an explicit world config,
+// letting callers inject faults, arm the virtual-time watchdog, or attach
+// a tracer. The zero Config reproduces AllreduceLatency bit for bit.
+func AllreduceLatencyCfg(cfg mpi.Config, cl *topology.Cluster, nodes, ppn int, choose SpecChooser, sizes []int, iters, warmup int) ([]sim.Duration, error) {
 	if iters <= 0 {
 		return nil, fmt.Errorf("bench: iters = %d", iters)
 	}
@@ -41,7 +48,7 @@ func AllreduceLatency(cl *topology.Cluster, nodes, ppn int, choose SpecChooser, 
 	if err != nil {
 		return nil, err
 	}
-	e := core.NewEngine(mpi.NewWorld(job, mpi.Config{}))
+	e := core.NewEngine(mpi.NewWorld(job, cfg))
 	out := make([]sim.Duration, len(sizes))
 	err = e.W.Run(func(r *mpi.Rank) error {
 		world := e.W.CommWorld()
@@ -81,7 +88,13 @@ func AllreduceLatency(cl *topology.Cluster, nodes, ppn int, choose SpecChooser, 
 // LatencySeries runs AllreduceLatency and packages the result as a Series
 // with Y in microseconds.
 func LatencySeries(label string, cl *topology.Cluster, nodes, ppn int, choose SpecChooser, sizes []int, iters, warmup int) (Series, error) {
-	lat, err := AllreduceLatency(cl, nodes, ppn, choose, sizes, iters, warmup)
+	return LatencySeriesCfg(mpi.Config{}, label, cl, nodes, ppn, choose, sizes, iters, warmup)
+}
+
+// LatencySeriesCfg is LatencySeries with an explicit world config (see
+// AllreduceLatencyCfg).
+func LatencySeriesCfg(cfg mpi.Config, label string, cl *topology.Cluster, nodes, ppn int, choose SpecChooser, sizes []int, iters, warmup int) (Series, error) {
+	lat, err := AllreduceLatencyCfg(cfg, cl, nodes, ppn, choose, sizes, iters, warmup)
 	if err != nil {
 		return Series{}, fmt.Errorf("%s: %w", label, err)
 	}

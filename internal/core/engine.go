@@ -104,6 +104,13 @@ type Engine struct {
 
 	sharpNode   *fabric.SharpGroup // one leader per node
 	sharpSocket *fabric.SharpGroup // one leader per socket per node
+
+	// Host-based fallback communicators, spanning exactly the members of
+	// the matching SHArP group: when the offload goes offline mid-run
+	// (fault injection), the leaders complete the inter-node reduction
+	// with a host algorithm over these instead (see sharpOp).
+	sharpNodeHost   *mpi.Comm
+	sharpSocketHost *mpi.Comm
 }
 
 // NewEngine prepares DPML state for the world.
@@ -137,9 +144,21 @@ func NewEngine(w *mpi.World) *Engine {
 	if w.Sharp != nil {
 		if g, err := w.Sharp.NewGroup(job.NodesUsed, 1); err == nil {
 			e.sharpNode = g
+			e.sharpNodeHost = e.leaderComms[0]
 		}
 		if g, err := w.Sharp.NewGroup(job.NodesUsed, len(firstOfSocket)); err == nil {
 			e.sharpSocket = g
+			// All socket leaders of all nodes, node-major: the same set
+			// that joins each sharpSocket operation.
+			var socketLeaders []int
+			for node := 0; node < job.NodesUsed; node++ {
+				for local := 0; local < job.PPN; local++ {
+					if e.socketLeader[local] == local {
+						socketLeaders = append(socketLeaders, node*job.PPN+local)
+					}
+				}
+			}
+			e.sharpSocketHost = w.NewComm(socketLeaders)
 		}
 	}
 	return e

@@ -3,6 +3,7 @@ package core
 import (
 	"dpml/internal/fabric"
 	"dpml/internal/mpi"
+	"dpml/internal/trace"
 )
 
 // sharpAllreduce implements the two SHArP designs of Section 4.3.
@@ -20,9 +21,9 @@ import (
 // Payloads beyond the fabric's SHArP limit fall back to the host-based
 // single-leader hierarchy, as production implementations do.
 func (e *Engine) sharpAllreduce(r *mpi.Rank, op *mpi.Op, vec *mpi.Vector, socketLevel bool) {
-	group := e.sharpNode
+	group, host := e.sharpNode, e.sharpNodeHost
 	if socketLevel {
-		group = e.sharpSocket
+		group, host = e.sharpSocket, e.sharpSocketHost
 	}
 	if vec.Bytes() > e.W.Sharp.MaxPayload() {
 		e.dpml(r, op, vec, 1, 1, "")
@@ -35,7 +36,7 @@ func (e *Engine) sharpAllreduce(r *mpi.Rank, op *mpi.Op, vec *mpi.Vector, socket
 
 	if ppn == 1 {
 		// The designs coincide: the single local rank is the leader.
-		e.sharpOp(r, group, op, vec)
+		e.sharpOp(r, group, host, op, vec)
 		return
 	}
 
@@ -69,7 +70,7 @@ func (e *Engine) sharpAllreduce(r *mpi.Rank, op *mpi.Op, vec *mpi.Vector, socket
 			}
 			r.Reduce(op, acc, s)
 		}
-		e.sharpOp(r, group, op, acc)
+		e.sharpOp(r, group, host, op, acc)
 		rg.Publish(seq, ppn, leader, acc)
 	}
 
@@ -81,8 +82,13 @@ func (e *Engine) sharpAllreduce(r *mpi.Rank, op *mpi.Op, vec *mpi.Vector, socket
 }
 
 // sharpOp runs one in-network reduction for this leader, folding real
-// payloads through the switch model's data path.
-func (e *Engine) sharpOp(r *mpi.Rank, group *fabric.SharpGroup, op *mpi.Op, vec *mpi.Vector) {
+// payloads through the switch model's data path. If the offload is
+// offline (fault injection), every leader of the failed operation sees
+// the same ErrSharpOffline — the verdict is made once, by the operation's
+// last arriver — and they complete the inter-node reduction with a
+// host-based algorithm over the matching leader communicator instead,
+// recording the degradation in the trace.
+func (e *Engine) sharpOp(r *mpi.Rank, group *fabric.SharpGroup, host *mpi.Comm, op *mpi.Op, vec *mpi.Vector) {
 	var contrib any
 	var combine func(a, b any) any
 	if !vec.Phantom() {
@@ -94,6 +100,18 @@ func (e *Engine) sharpOp(r *mpi.Rank, group *fabric.SharpGroup, op *mpi.Op, vec 
 		}
 	}
 	res, err := group.Allreduce(r.Proc(), vec.Bytes(), contrib, combine)
+	if err == fabric.ErrSharpOffline {
+		alg := autoAlg(vec.Bytes())
+		start := r.Now()
+		if host.Size() > 1 {
+			r.Allreduce(host, alg, op, vec)
+		}
+		e.W.Tracer().Add(trace.Event{
+			Rank: r.Rank(), Kind: trace.KindFallback, Label: "sharp->host(" + string(alg) + ")",
+			Start: start, End: r.Now(), Bytes: vec.Bytes(),
+		})
+		return
+	}
 	if err != nil {
 		// The payload was validated against MaxPayload by the caller;
 		// remaining errors indicate inconsistent collective calls.

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpml/internal/faults"
+	"dpml/internal/mpi"
+	"dpml/internal/topology"
+	"dpml/internal/trace"
+)
+
+// runDesign executes one allreduce per rank with the given per-rank
+// inputs on a fresh world and returns each rank's result vector.
+func runDesign(t *testing.T, cfg mpi.Config, nodes, ppn int, s Spec, in [][]float64) [][]float64 {
+	t.Helper()
+	job, err := topology.NewJob(topology.ClusterA(), nodes, ppn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(mpi.NewWorld(job, cfg))
+	out := make([][]float64, len(in))
+	err = e.W.Run(func(r *mpi.Rank) error {
+		v := mpi.NewVector(mpi.Float64, len(in[r.Rank()]))
+		copy(v.Float64s(), in[r.Rank()])
+		if err := e.Allreduce(r, s, mpi.Sum, v); err != nil {
+			return err
+		}
+		out[r.Rank()] = append([]float64(nil), v.Float64s()...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func randomInputs(p, count int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([][]float64, p)
+	for k := range in {
+		in[k] = make([]float64, count)
+		for i := range in[k] {
+			in[k][i] = float64(rng.Intn(512) - 256)
+		}
+	}
+	return in
+}
+
+// TestSharpOutageFallsBackToHost: with the offload offline for the whole
+// run, both SHArP designs must complete with results identical to
+// DesignDPML on the same inputs, and the degradation must be visible in
+// the trace.
+func TestSharpOutageFallsBackToHost(t *testing.T) {
+	const nodes, ppn, count = 4, 4, 128
+	in := randomInputs(nodes*ppn, count, 21)
+	outage := &faults.Plan{Sharp: []faults.SharpOutage{{Start: 0}}}
+	want := runDesign(t, mpi.Config{}, nodes, ppn, HostBased(), in)
+	for _, design := range []Design{DesignSharpNode, DesignSharpSocket} {
+		rec := trace.New(0)
+		got := runDesign(t, mpi.Config{Faults: outage, Trace: rec}, nodes, ppn, Spec{Design: design}, in)
+		for rank := range got {
+			for i := range got[rank] {
+				if got[rank][i] != want[rank][i] {
+					t.Fatalf("%s under outage: rank %d elem %d: got %v, DPML gives %v",
+						design, rank, i, got[rank][i], want[rank][i])
+				}
+			}
+		}
+		fallbacks := 0
+		for _, ev := range rec.Events() {
+			if ev.Kind == trace.KindFallback {
+				fallbacks++
+				if ev.Label != "sharp->host(recursive-doubling)" {
+					t.Fatalf("%s: fallback label %q", design, ev.Label)
+				}
+			}
+		}
+		if fallbacks == 0 {
+			t.Fatalf("%s: no fallback events in trace", design)
+		}
+	}
+}
+
+// TestSharpMidRunOutageAndRecovery: the offload fails between the first
+// and second collective and recovers before the third. The middle
+// operation must complete correctly via the host fallback; the outer two
+// must use the switch tree.
+func TestSharpMidRunOutageAndRecovery(t *testing.T) {
+	const nodes, ppn, count = 4, 4, 64
+	p := nodes * ppn
+	job, err := topology.NewJob(topology.ClusterA(), nodes, ppn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.New(0)
+	e := NewEngine(mpi.NewWorld(job, mpi.Config{Trace: rec}))
+	in := randomInputs(p, count, 22)
+	want := make([][3]float64, count)
+	for i := 0; i < count; i++ {
+		for k := 0; k < p; k++ {
+			want[i][0] += in[k][i]
+		}
+		want[i][1] = 2 * want[i][0]
+		want[i][2] = 3 * want[i][0]
+	}
+	spec := Spec{Design: DesignSharpNode}
+	err = e.W.Run(func(r *mpi.Rank) error {
+		world := e.W.CommWorld()
+		for step := 0; step < 3; step++ {
+			v := mpi.NewVector(mpi.Float64, count)
+			for i := 0; i < count; i++ {
+				v.Set(i, float64(step+1)*in[r.Rank()][i])
+			}
+			if err := e.Allreduce(r, spec, mpi.Sum, v); err != nil {
+				return err
+			}
+			for i := 0; i < count; i++ {
+				if v.At(i) != want[i][step] {
+					t.Errorf("step %d rank %d elem %d: got %v want %v",
+						step, r.Rank(), i, v.At(i), want[i][step])
+					return nil
+				}
+			}
+			r.Barrier(world)
+			if r.Rank() == 0 {
+				// Toggled before anyone can leave the barrier, so the next
+				// operation's last arriver sees the new state.
+				e.W.Sharp.SetFailed(step == 0)
+			}
+			r.Barrier(world)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops := e.sharpNode.Stats.Ops; ops != 2 {
+		t.Fatalf("switch-tree ops = %d, want 2 (steps 0 and 2)", ops)
+	}
+	fallbacks := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KindFallback {
+			fallbacks++
+		}
+	}
+	if fallbacks != nodes {
+		t.Fatalf("fallback events = %d, want one per node leader (%d)", fallbacks, nodes)
+	}
+}

@@ -190,6 +190,24 @@ func (n *FlowNet) Start(bytes int64, rateCap float64, onDone func(), links ...*L
 	n.markDirty()
 }
 
+// SetLinkCapacity changes l's capacity in place and re-water-fills every
+// in-flight flow (batched with any other changes at this instant, like a
+// Start). This is the fault layer's link-degradation hook: a congested or
+// flapping link slows flows already crossing it mid-transfer, exactly as
+// a real capacity change would. Must be called from simulation context.
+// The completion fast path stays sound: the net is dirty until the refill
+// event fires, so no completion trusts the stale bottleneck flags.
+func (n *FlowNet) SetLinkCapacity(l *Link, capacity float64) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("fabric: SetLinkCapacity(%q, %g)", l.name, capacity))
+	}
+	if capacity == l.capacity {
+		return
+	}
+	l.capacity = capacity
+	n.markDirty()
+}
+
 func (n *FlowNet) markDirty() {
 	if n.dirty {
 		return

@@ -13,6 +13,7 @@ type hca struct {
 	up       *Link
 	down     *Link
 	nextFree sim.Time
+	gapScale float64 // injection-gap multiplier; 0 or 1 = nominal rate
 }
 
 // Network models the inter-node interconnect of one job: per-node HCAs
@@ -112,8 +113,30 @@ func (ep *Endpoint) InjectDelay() sim.Duration {
 	if h.nextFree > start {
 		start = h.nextFree
 	}
-	h.nextFree = start.Add(ep.net.prof.MsgGap)
+	gap := ep.net.prof.MsgGap
+	if h.gapScale > 0 && h.gapScale != 1 {
+		gap = sim.Duration(float64(gap) * h.gapScale)
+	}
+	h.nextFree = start.Add(gap)
 	return start.Sub(now)
+}
+
+// HCALinks exposes the uplink and downlink of one node's HCA, so the
+// fault layer can degrade their capacity through FlowNet.SetLinkCapacity.
+func (n *Network) HCALinks(node, hcaIdx int) (up, down *Link) {
+	h := n.hcaAt(node, hcaIdx)
+	return h.up, h.down
+}
+
+// SetInjectScale throttles one HCA's message rate: subsequent injections
+// reserve scale times the profile's nominal gap. scale 1 (or 0) restores
+// the nominal rate; already-reserved slots are not revisited. This is the
+// fault layer's NIC-throttling hook.
+func (n *Network) SetInjectScale(node, hcaIdx int, scale float64) {
+	if scale < 0 {
+		panic(fmt.Sprintf("fabric: SetInjectScale(%d, %d, %g)", node, hcaIdx, scale))
+	}
+	n.hcaAt(node, hcaIdx).gapScale = scale
 }
 
 // StartTransfer launches the wire part of one message between two

@@ -19,6 +19,10 @@ var (
 	ErrSharpGroups = errors.New("fabric: SHArP group limit reached")
 	// ErrSharpPayload is returned when an operation exceeds MaxPayload.
 	ErrSharpPayload = errors.New("fabric: SHArP payload too large")
+	// ErrSharpOffline is returned while the offload is marked failed (see
+	// Sharp.SetFailed): the operation never enters the switch tree, and
+	// callers are expected to fall back to a host-based algorithm.
+	ErrSharpOffline = errors.New("fabric: SHArP offload offline")
 )
 
 // Sharp models the fabric-wide SHArP capability: a bounded pool of
@@ -31,6 +35,7 @@ type Sharp struct {
 	link   float64 // leaf injection rate, bytes/sec
 	groups int
 	ost    *sim.Semaphore // fabric-wide outstanding-operation slots
+	failed bool           // offload outage in force (see SetFailed)
 }
 
 // NewSharp builds the SHArP model for a cluster, or returns
@@ -49,6 +54,17 @@ func NewSharp(k *sim.Kernel, c *topology.Cluster) (*Sharp, error) {
 
 // Profile returns the SHArP parameters in force.
 func (s *Sharp) Profile() topology.SharpProfile { return s.prof }
+
+// SetFailed marks the offload unavailable (true) or restores it (false).
+// While failed, every operation that would *start* — decided when its
+// last caller arrives — fails with ErrSharpOffline for all callers of
+// that operation; operations already in the switch tree complete, as they
+// would under a real completion-timeout failure model. The fault layer
+// toggles this at outage-window boundaries.
+func (s *Sharp) SetFailed(v bool) { s.failed = v }
+
+// Failed reports whether the offload is currently marked unavailable.
+func (s *Sharp) Failed() bool { return s.failed }
 
 // MaxPayload returns the largest message one operation may carry.
 func (s *Sharp) MaxPayload() int { return s.prof.MaxPayload }
@@ -123,6 +139,7 @@ type sharpOp struct {
 	arrived int
 	acc     any
 	result  any
+	err     error // set by the last arriver; seen by every caller
 	waiters sim.Signal
 }
 
@@ -174,12 +191,22 @@ func (g *SharpGroup) Allreduce(p *sim.Proc, bytes int, contrib any, reduce func(
 	op.arrived++
 	if op.arrived < g.members {
 		op.waiters.Wait(p, "sharp allreduce")
-		return op.result, nil
+		return op.result, op.err
 	}
 	// Last arriver drives the operation; detach it so the next one can
 	// start collecting while this one runs. The slot is fabric-wide:
 	// concurrent operations from other groups contend for it.
 	g.cur = nil
+	if g.sharp.failed {
+		// The offload outage is observed here, and only here, so every
+		// caller of this operation sees the same verdict — per-caller
+		// checks would diverge, since members reach the call at different
+		// virtual times.
+		op.acc = nil
+		op.err = ErrSharpOffline
+		op.waiters.FireAll()
+		return nil, op.err
+	}
 	g.sharp.ost.Acquire(p)
 	g.Stats.Ops++
 	p.Sleep(g.sharp.OpLatency(g.nodes, bytes))

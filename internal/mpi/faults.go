@@ -1,0 +1,128 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+
+	"dpml/internal/faults"
+	"dpml/internal/sim"
+)
+
+// stragWin is one precompiled straggler window for a rank: while the
+// clock is inside [start, end) the rank's compute and per-message CPU
+// overheads stretch by factor.
+type stragWin struct {
+	start  sim.Time
+	end    sim.Time // 0 = forever
+	factor float64
+}
+
+// installFaults compiles the plan into the world: straggler windows
+// become a per-rank lookup table consulted on the perturbed hot paths,
+// while link, NIC, and SHArP windows become ordinary kernel events at
+// their boundaries (capacities are restored to the values captured here,
+// so windows on the same component must not overlap — the generator
+// produces disjoint ones). Runs once, before the simulation starts; with
+// no plan nothing is installed and the event stream is untouched.
+func (w *World) installFaults(p *faults.Plan) {
+	sh := faults.Shape{Ranks: len(w.ranks), Nodes: w.Job.NodesUsed, HCAs: w.Job.Cluster.HCAs}
+	if err := p.Validate(sh); err != nil {
+		panic(err)
+	}
+	if len(p.Stragglers) > 0 {
+		w.strag = make([][]stragWin, len(w.ranks))
+		for _, s := range p.Stragglers {
+			w.strag[s.Rank] = append(w.strag[s.Rank], stragWin{s.Start, s.End, s.Factor})
+		}
+	}
+	k := w.Kernel
+	for _, lf := range p.Links {
+		lf := lf
+		up, down := w.Net.HCALinks(lf.Node, lf.HCA)
+		upBase, downBase := up.Capacity(), down.Capacity()
+		k.At(lf.Start, func() {
+			w.Flows.SetLinkCapacity(up, upBase*lf.Factor)
+			w.Flows.SetLinkCapacity(down, downBase*lf.Factor)
+		})
+		if lf.End != 0 {
+			k.At(lf.End, func() {
+				w.Flows.SetLinkCapacity(up, upBase)
+				w.Flows.SetLinkCapacity(down, downBase)
+			})
+		}
+	}
+	for _, nt := range p.NICs {
+		nt := nt
+		k.At(nt.Start, func() { w.Net.SetInjectScale(nt.Node, nt.HCA, nt.Factor) })
+		if nt.End != 0 {
+			k.At(nt.End, func() { w.Net.SetInjectScale(nt.Node, nt.HCA, 1) })
+		}
+	}
+	if w.Sharp != nil {
+		for _, o := range p.Sharp {
+			o := o
+			k.At(o.Start, func() { w.Sharp.SetFailed(true) })
+			if o.End != 0 {
+				k.At(o.End, func() { w.Sharp.SetFailed(false) })
+			}
+		}
+	}
+}
+
+// stretch scales a CPU-side duration by the rank's straggler factor in
+// force right now (the largest of its active windows). Without straggler
+// faults it returns d unchanged after a single nil check — this sits on
+// the send/receive/compute hot paths and must cost nothing when off.
+func (w *World) stretch(rank int, d sim.Duration) sim.Duration {
+	if w.strag == nil || d <= 0 {
+		return d
+	}
+	f := 1.0
+	now := w.Kernel.Now()
+	for _, win := range w.strag[rank] {
+		if now >= win.start && (win.end == 0 || now < win.end) && win.factor > f {
+			f = win.factor
+		}
+	}
+	if f == 1 {
+		return d
+	}
+	return sim.Duration(float64(d) * f)
+}
+
+// diagnostics dumps each rank's pending message-matching state for
+// deadlock and watchdog reports: how many receives it has posted without
+// a matching message and how many messages arrived unexpected. Ranks with
+// nothing pending are skipped; the dump is capped so a wedged 10k-rank
+// job stays readable.
+func (w *World) diagnostics() string {
+	const maxLines = 16
+	var b strings.Builder
+	b.WriteString("pending requests:")
+	lines, more := 0, 0
+	for _, rk := range w.ranks {
+		posted, unexpected := 0, 0
+		for _, q := range rk.posted {
+			posted += len(q)
+		}
+		for _, q := range rk.unexpected {
+			unexpected += len(q)
+		}
+		if posted == 0 && unexpected == 0 {
+			continue
+		}
+		if lines == maxLines {
+			more++
+			continue
+		}
+		lines++
+		fmt.Fprintf(&b, "\n  rank%d: %d posted recvs, %d unexpected msgs", rk.rank, posted, unexpected)
+	}
+	if more > 0 {
+		fmt.Fprintf(&b, "\n  (+%d more ranks)", more)
+	}
+	if lines == 0 {
+		b.WriteString(" none")
+	}
+	return b.String()
+}

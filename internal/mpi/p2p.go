@@ -54,7 +54,7 @@ func (r *Rank) Isend(c *Comm, dst, tag int, vec *Vector) *Request {
 	if vec.Bytes() <= r.w.EagerThreshold() {
 		// Eager: pay CPU overhead and the NIC injection slot, launch the
 		// wire transfer, and consider the buffer reusable at once.
-		r.proc.Sleep(prof.SenderOverhead)
+		r.proc.Sleep(r.w.stretch(r.rank, prof.SenderOverhead))
 		if d := r.ep.InjectDelay(); d > 0 {
 			r.proc.Sleep(d)
 		}
@@ -66,7 +66,7 @@ func (r *Rank) Isend(c *Comm, dst, tag int, vec *Vector) *Request {
 
 	// Rendezvous: an RTS control message travels to the receiver; the
 	// payload moves only after the receiver matches and returns a CTS.
-	r.proc.Sleep(prof.SenderOverhead)
+	r.proc.Sleep(r.w.stretch(r.rank, prof.SenderOverhead))
 	env := &envelope{
 		key: key, vec: vec, rendezvous: true, sendReq: req, srcRank: r,
 		recvOverhead: prof.ReceiverOverhead + r.w.jitter(),
@@ -156,7 +156,9 @@ func (r *Rank) completeRecv(env *envelope, req *Request) {
 	}
 	env.vec = nil
 	if env.recvOverhead > 0 {
-		r.w.Kernel.After(env.recvOverhead, req.complete)
+		// The receiver's straggler factor applies at landing time, not at
+		// the instant the sender stamped the overhead.
+		r.w.Kernel.After(r.w.stretch(r.rank, env.recvOverhead), req.complete)
 	} else {
 		req.complete()
 	}

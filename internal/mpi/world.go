@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"dpml/internal/fabric"
+	"dpml/internal/faults"
 	"dpml/internal/sim"
 	"dpml/internal/topology"
 	"dpml/internal/trace"
@@ -35,6 +36,19 @@ type Config struct {
 	// JitterSeed seeds the noise stream; runs with equal seeds are
 	// identical.
 	JitterSeed uint64
+	// Faults, when non-nil and non-empty, installs the fault plan into
+	// the world before the run starts: straggler windows, link
+	// degradation, NIC throttling, SHArP outages (see the faults
+	// package). Nil or empty is the healthy fabric, bit-for-bit
+	// identical to a build without the fault layer. The plan must be
+	// valid for this job's shape.
+	Faults *faults.Plan
+	// Watchdog, when positive, arms a virtual-time deadline: a run still
+	// going at that instant aborts with a *sim.WatchdogError dumping
+	// each blocked rank's wait reason and pending-request counts,
+	// instead of simulating a wedged collective forever. Zero disables
+	// it.
+	Watchdog sim.Duration
 }
 
 // World is one job: the simulated cluster fabric plus one rank per
@@ -51,7 +65,8 @@ type World struct {
 	ranks     []*Rank
 	world     *Comm
 	nextCID   int
-	rng       uint64 // jitter stream state
+	rng       uint64      // jitter stream state
+	strag     [][]stragWin // per-rank straggler windows; nil without straggler faults
 	commCache map[string]*Comm
 	vecPool   map[vecShape][]*Vector // free list for in-flight payload clones (see pool.go)
 }
@@ -83,6 +98,13 @@ func NewWorld(job *topology.Job, cfg Config) *World {
 		all[i] = i
 	}
 	w.world = w.NewComm(all)
+	k.SetDiagnostic(w.diagnostics)
+	if cfg.Watchdog > 0 {
+		k.SetWatchdog(cfg.Watchdog)
+	}
+	if !cfg.Faults.Empty() {
+		w.installFaults(cfg.Faults)
+	}
 	return w
 }
 
@@ -186,7 +208,7 @@ func (r *Rank) Compute(bytes int) {
 		return
 	}
 	start := r.proc.Now()
-	r.proc.Sleep(sim.TransferTime(int64(bytes), r.w.Job.Cluster.CPU.ReduceRate))
+	r.proc.Sleep(r.w.stretch(r.rank, sim.TransferTime(int64(bytes), r.w.Job.Cluster.CPU.ReduceRate)))
 	r.w.cfg.Trace.Add(trace.Event{
 		Rank: r.rank, Kind: trace.KindCompute, Start: start, End: r.proc.Now(), Bytes: bytes,
 	})

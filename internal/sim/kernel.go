@@ -75,11 +75,38 @@ type errKilled struct{}
 type DeadlockError struct {
 	At      Time
 	Blocked []string // "name: reason" for each parked proc
+	Diag    string   // optional workload diagnostic (see SetDiagnostic)
 }
 
 func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at t=%v; blocked procs:\n  %s",
+	msg := fmt.Sprintf("sim: deadlock at t=%v; blocked procs:\n  %s",
 		e.At, strings.Join(e.Blocked, "\n  "))
+	if e.Diag != "" {
+		msg += "\n" + e.Diag
+	}
+	return msg
+}
+
+// WatchdogError is returned by Kernel.Run when a watchdog deadline (see
+// SetWatchdog) expires with procs still alive: the run is aborted with a
+// dump of every parked proc's wait reason, the pending event-heap head,
+// and any workload diagnostic, instead of simulating a wedged collective
+// forever (or until global deadlock, which a stuck-but-still-ticking
+// scenario never reaches).
+type WatchdogError struct {
+	Deadline  Time
+	Blocked   []string // "name: reason" for each parked proc
+	NextEvent string   // event-heap head after the watchdog fired
+	Diag      string   // optional workload diagnostic (see SetDiagnostic)
+}
+
+func (e *WatchdogError) Error() string {
+	msg := fmt.Sprintf("sim: watchdog expired at t=%v; blocked procs:\n  %s\nnext pending event: %s",
+		e.Deadline, strings.Join(e.Blocked, "\n  "), e.NextEvent)
+	if e.Diag != "" {
+		msg += "\n" + e.Diag
+	}
+	return msg
 }
 
 // PanicError wraps a panic raised inside a proc.
@@ -113,6 +140,8 @@ type Kernel struct {
 	shuttingDown bool  // exit paths hand back to shutdown(), not schedule()
 	termErr      error // deadlock error, nil on clean completion
 	failure      error // first proc panic, aborts the run
+	abortErr     error // watchdog verdict, picked up by the schedule loop
+	diag         func() string
 
 	// Stats counts scheduler activity; useful in tests and reports.
 	// ContextSwitch counts actual goroutine handoffs of the run token.
@@ -216,6 +245,44 @@ func (k *Kernel) After(d Duration, fn func()) *Event {
 	return k.At(k.now.Add(d), fn)
 }
 
+// SetDiagnostic installs a workload-level dump (per-rank pending
+// requests, say) that is appended to deadlock and watchdog reports. The
+// callback runs in kernel context at fault time and must not block.
+func (k *Kernel) SetDiagnostic(fn func() string) { k.diag = fn }
+
+// SetWatchdog arms a virtual-time deadline: if any proc is still alive
+// when the clock reaches d, the run aborts with a *WatchdogError naming
+// every blocked proc instead of simulating a wedged workload forever.
+// A run that completes before the deadline is unaffected — except that,
+// because the armed watchdog is itself a pending event, a genuine global
+// deadlock is reported at the deadline (as a WatchdogError) rather than
+// the instant it occurs. d <= 0 is a no-op; the watchdog is off by
+// default and adds no per-step cost either way. Must be called before
+// Run.
+func (k *Kernel) SetWatchdog(d Duration) {
+	if k.started {
+		panic("sim: SetWatchdog after Run")
+	}
+	if d <= 0 {
+		return
+	}
+	deadline := k.now.Add(d)
+	k.At(deadline, func() {
+		if k.alive == 0 {
+			return // everything finished; let the run complete cleanly
+		}
+		next := "none"
+		if at, ok := k.events.peekAt(); ok {
+			next = fmt.Sprintf("t=%v", at)
+		}
+		e := &WatchdogError{Deadline: deadline, Blocked: k.blockedDump(), NextEvent: next}
+		if k.diag != nil {
+			e.Diag = k.diag()
+		}
+		k.abortErr = e
+	})
+}
+
 // Spawn registers a new proc running body. It must be called before Run
 // (procs spawning procs is not supported; MPI-style workloads spawn the
 // whole world up front).
@@ -317,6 +384,10 @@ func (k *Kernel) schedule(self *Proc) bool {
 			k.terminate(nil)
 			return false
 		}
+		if k.abortErr != nil {
+			k.terminate(k.abortErr)
+			return false
+		}
 		if k.ready.len() > 0 {
 			p := k.ready.pop()
 			if p.state == stateDone {
@@ -360,6 +431,16 @@ func (k *Kernel) terminate(err error) {
 
 // deadlock builds the error naming every parked proc.
 func (k *Kernel) deadlock() *DeadlockError {
+	e := &DeadlockError{At: k.now, Blocked: k.blockedDump()}
+	if k.diag != nil {
+		e.Diag = k.diag()
+	}
+	return e
+}
+
+// blockedDump lists every parked proc as "name: reason", sorted for
+// stable reports.
+func (k *Kernel) blockedDump() []string {
 	var blocked []string
 	for _, p := range k.procs {
 		if p.state == stateBlocked {
@@ -367,7 +448,7 @@ func (k *Kernel) deadlock() *DeadlockError {
 		}
 	}
 	sort.Strings(blocked)
-	return &DeadlockError{At: k.now, Blocked: blocked}
+	return blocked
 }
 
 // shutdown unwinds every parked proc so no goroutines leak after a failed

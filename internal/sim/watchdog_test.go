@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestWatchdogAbortsWedgedRun: a proc that keeps the clock ticking with
+// live events never reaches the kernel's global deadlock detection, so
+// the watchdog deadline is the only thing that can turn the wedge into
+// a diagnostic error.
+func TestWatchdogAbortsWedgedRun(t *testing.T) {
+	k := NewKernel()
+	k.SetWatchdog(100 * Microsecond)
+	var sig Signal
+	k.Spawn("stuck-a", func(p *Proc) { sig.Wait(p, "waiting on a signal nobody fires") })
+	k.Spawn("ticker", func(p *Proc) {
+		for {
+			p.Sleep(Microsecond) // live events forever: no global deadlock
+		}
+	})
+	err := k.Run()
+	var wd *WatchdogError
+	if !errors.As(err, &wd) {
+		t.Fatalf("got %v, want WatchdogError", err)
+	}
+	if wd.Deadline != Time(100*Microsecond) {
+		t.Fatalf("deadline %v, want 100us", wd.Deadline)
+	}
+	msg := err.Error()
+	for _, want := range []string{"stuck-a", "waiting on a signal nobody fires", "next pending event"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("watchdog report missing %q:\n%s", want, msg)
+		}
+	}
+	// The ticker's wakeup was pending when the watchdog fired.
+	if !strings.Contains(wd.NextEvent, "t=") {
+		t.Fatalf("NextEvent = %q, want a pending event time", wd.NextEvent)
+	}
+}
+
+// TestWatchdogNoopOnCleanRun: a run that finishes before the deadline
+// must complete exactly as if the watchdog were never armed.
+func TestWatchdogNoopOnCleanRun(t *testing.T) {
+	k := NewKernel()
+	k.SetWatchdog(Second)
+	var end Time
+	k.Spawn("quick", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != Time(5*Microsecond) {
+		t.Fatalf("proc finished at %v, want 5us", end)
+	}
+}
+
+// TestWatchdogReportsDeadlockAtDeadline: with the watchdog armed, a
+// genuine deadlock is surfaced when the deadline fires (the armed
+// watchdog is itself a live event, so instant detection is off).
+func TestWatchdogReportsDeadlockAtDeadline(t *testing.T) {
+	k := NewKernel()
+	k.SetWatchdog(50 * Microsecond)
+	var sig Signal
+	k.Spawn("stuck", func(p *Proc) { sig.Wait(p, "forever") })
+	err := k.Run()
+	var wd *WatchdogError
+	if !errors.As(err, &wd) {
+		t.Fatalf("got %v, want WatchdogError", err)
+	}
+	if len(wd.Blocked) != 1 || !strings.Contains(wd.Blocked[0], "stuck") {
+		t.Fatalf("blocked dump %v", wd.Blocked)
+	}
+	if wd.NextEvent != "none" {
+		t.Fatalf("NextEvent = %q, want none", wd.NextEvent)
+	}
+}
+
+// TestDiagnosticInReports: a workload diagnostic is appended to both
+// deadlock and watchdog errors.
+func TestDiagnosticInReports(t *testing.T) {
+	k := NewKernel()
+	k.SetDiagnostic(func() string { return "pending requests: 3" })
+	var sig Signal
+	k.Spawn("stuck", func(p *Proc) { sig.Wait(p, "forever") })
+	err := k.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("got %v, want DeadlockError", err)
+	}
+	if dl.Diag != "pending requests: 3" || !strings.Contains(err.Error(), "pending requests: 3") {
+		t.Fatalf("diagnostic missing from deadlock report: %v", err)
+	}
+
+	k2 := NewKernel()
+	k2.SetWatchdog(10 * Microsecond)
+	k2.SetDiagnostic(func() string { return "rank 1: 2 posted recvs" })
+	var sig2 Signal
+	k2.Spawn("stuck", func(p *Proc) { sig2.Wait(p, "forever") })
+	err = k2.Run()
+	var wd *WatchdogError
+	if !errors.As(err, &wd) {
+		t.Fatalf("got %v, want WatchdogError", err)
+	}
+	if !strings.Contains(err.Error(), "rank 1: 2 posted recvs") {
+		t.Fatalf("diagnostic missing from watchdog report: %v", err)
+	}
+}
+
+// TestWatchdogZeroIsOff: SetWatchdog(0) arms nothing — the run keeps the
+// instant deadlock detection and terminates with a DeadlockError.
+func TestWatchdogZeroIsOff(t *testing.T) {
+	k := NewKernel()
+	k.SetWatchdog(0)
+	var sig Signal
+	k.Spawn("stuck", func(p *Proc) { sig.Wait(p, "forever") })
+	var dl *DeadlockError
+	if err := k.Run(); !errors.As(err, &dl) {
+		t.Fatalf("got %v, want DeadlockError", err)
+	}
+}

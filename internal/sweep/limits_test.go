@@ -1,0 +1,167 @@
+package sweep
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunLimitedZeroLimitsMatchesRun(t *testing.T) {
+	jobs := make([]Job[int], 20)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) { return i + 100, nil }
+	}
+	out, err := RunLimited(4, JobLimits{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+100 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i+100)
+		}
+	}
+}
+
+func TestRunLimitedTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	jobs := []Job[int]{
+		func() (int, error) { return 1, nil },
+		func() (int, error) { <-release; return 2, nil }, // hangs past the deadline
+		func() (int, error) { return 3, nil },
+	}
+	out, err := RunLimited(4, JobLimits{Timeout: 20 * time.Millisecond}, jobs)
+	if !errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("err = %v, want ErrJobTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "job 1") {
+		t.Fatalf("timeout not attributed to job 1: %v", err)
+	}
+	// Siblings still deliver; the timed-out slot stays zero.
+	if out[0] != 1 || out[1] != 0 || out[2] != 3 {
+		t.Fatalf("out = %v, want [1 0 3]", out)
+	}
+}
+
+// TestRunLimitedAbandonedResultDiscarded: a job that finishes after its
+// deadline must never write its late result into the output slice, even
+// once it eventually completes.
+func TestRunLimitedAbandonedResultDiscarded(t *testing.T) {
+	done := make(chan struct{})
+	jobs := []Job[int]{
+		func() (int, error) {
+			time.Sleep(60 * time.Millisecond)
+			close(done)
+			return 42, nil
+		},
+	}
+	out, err := RunLimited(1, JobLimits{Timeout: 10 * time.Millisecond}, jobs)
+	if !errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("err = %v, want ErrJobTimeout", err)
+	}
+	<-done // the abandoned goroutine ran to completion...
+	if out[0] != 0 {
+		t.Fatalf("late result leaked into output: %d", out[0]) // ...but its value went nowhere
+	}
+}
+
+func TestRunLimitedRetriesUntilSuccess(t *testing.T) {
+	var calls atomic.Int32
+	jobs := []Job[string]{
+		func() (string, error) {
+			if calls.Add(1) < 3 {
+				return "", errors.New("transient")
+			}
+			return "ok", nil
+		},
+	}
+	out, err := RunLimited(1, JobLimits{Retries: 2}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "ok" || calls.Load() != 3 {
+		t.Fatalf("out=%q calls=%d, want ok after 3 attempts", out[0], calls.Load())
+	}
+}
+
+func TestRunLimitedRetriesExhausted(t *testing.T) {
+	var calls atomic.Int32
+	boom := errors.New("boom")
+	jobs := []Job[int]{
+		func() (int, error) { calls.Add(1); return 0, boom },
+	}
+	_, err := RunLimited(1, JobLimits{Retries: 2}, jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3 (1 + 2 retries)", calls.Load())
+	}
+	for _, want := range []string{"job 0", "after 3 attempts"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestRunLimitedRetriesPanic(t *testing.T) {
+	var calls atomic.Int32
+	jobs := []Job[int]{
+		func() (int, error) {
+			if calls.Add(1) == 1 {
+				panic("first attempt explodes")
+			}
+			return 7, nil
+		},
+	}
+	out, err := RunLimited(1, JobLimits{Retries: 1}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 7 {
+		t.Fatalf("out = %v, want [7]", out)
+	}
+}
+
+func TestRunLimitedAggregatesAcrossJobs(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	jobs := []Job[int]{
+		func() (int, error) { return 0, errors.New("plain failure") },
+		func() (int, error) { <-hang; return 0, nil },
+		func() (int, error) { return 9, nil },
+	}
+	out, err := RunLimited(4, JobLimits{Timeout: 20 * time.Millisecond}, jobs)
+	if err == nil {
+		t.Fatal("want aggregated error")
+	}
+	if !errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("timeout lost in aggregation: %v", err)
+	}
+	for _, want := range []string{"job 0", "plain failure", "job 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	if out[2] != 9 {
+		t.Fatalf("successful sibling lost: %v", out)
+	}
+}
+
+func TestMapLimited(t *testing.T) {
+	items := []int{5, 6, 7}
+	out, err := MapLimited(2, JobLimits{Timeout: time.Second, Retries: 1}, items,
+		func(i, v int) (int, error) { return i * v, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 6, 14}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}

@@ -24,6 +24,10 @@ const (
 	KindShmCopy    Kind = "shmcopy"
 	KindCompute    Kind = "compute"
 	KindCollective Kind = "coll"
+	// KindFallback marks a degraded-mode switch: a design abandoned its
+	// preferred path mid-run (e.g. SHArP offload offline) and completed
+	// the operation another way. Label names the path taken.
+	KindFallback Kind = "fallback"
 )
 
 // Event is one recorded operation.
