@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci perfcheck faultsmoke bench results perf
+.PHONY: all build test race vet ci perfcheck faultsmoke fuzz cover bench results perf
 
 all: build
 
@@ -20,9 +20,10 @@ race:
 # detector (the sweep pool runs simulations on multiple goroutines, so
 # -race exercises the parallel paths, not just the serial ones), the
 # simulator-throughput check (the quick perf suite must stay within 30%
-# of the committed BENCH_sim.json on the 64-rank scenarios), and the
-# fault-matrix smoke pass.
-ci: vet race perfcheck faultsmoke
+# of the committed BENCH_sim.json on the 64-rank scenarios), the
+# fault-matrix smoke pass, a short fuzz pass over the text parsers, and
+# the coverage summary.
+ci: vet race perfcheck faultsmoke fuzz cover
 
 perfcheck:
 	$(GO) run ./cmd/dpml-bench -perf -quick -baseline BENCH_sim.json -o /dev/null
@@ -34,6 +35,22 @@ perfcheck:
 faultsmoke:
 	$(GO) test -count=2 -run 'Fault|Watchdog|Straggler|Sharp|Spec|Instantiate|Validate|Limited' \
 		./internal/faults/ ./internal/fabric/ ./internal/mpi/ ./internal/core/ ./internal/bench/ ./internal/sweep/
+
+# fuzz gives each fuzz target a short budget. Go runs one fuzz function
+# per invocation, so each gets its own line; seeds in testdata/corpus
+# still run under plain `go test`.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzCommMatrixLabel -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run=NONE -fuzz=FuzzWriteCSVRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run=NONE -fuzz=FuzzSpanStamping -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run=NONE -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/faults/
+
+# cover runs the suite with coverage and prints the per-package and total
+# statement coverage summary.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # bench runs the simulator micro-benchmarks (kernel + fabric hot paths).
 bench:

@@ -1,11 +1,15 @@
 // Command dpml-trace runs an allreduce workload with event tracing and
 // prints a profile: per-kind totals, the busiest ranks, and (optionally)
-// the raw event log as CSV.
+// the raw event log as CSV, a per-phase breakdown, the critical path,
+// a metrics-registry snapshot, or a Chrome trace_event JSON file
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 //
 // Usage:
 //
 //	dpml-trace -cluster B -nodes 4 -ppn 8 -design dpml -leaders 8 -bytes 524288
 //	dpml-trace -cluster A -lib proposed -bytes 256 -csv events.csv
+//	dpml-trace -cluster A -design sharp-node-leader -phases -critpath -metrics
+//	dpml-trace -cluster B -design dpml -chrome trace.json
 package main
 
 import (
@@ -33,6 +37,10 @@ func main() {
 		iters       = flag.Int("iters", 2, "allreduce iterations")
 		csvPath     = flag.String("csv", "", "write the raw event log to this file")
 		limit       = flag.Int("limit", 1<<20, "max events kept")
+		chromePath  = flag.String("chrome", "", "write a Chrome trace_event JSON file (open in Perfetto)")
+		phases      = flag.Bool("phases", false, "print the per-phase time breakdown")
+		critpath    = flag.Bool("critpath", false, "print the critical path and per-phase slack")
+		metricsFlag = flag.Bool("metrics", false, "print the metrics-registry snapshot")
 	)
 	flag.Parse()
 
@@ -98,6 +106,22 @@ func main() {
 			fmt.Printf("node 0 memory system: %d bytes moved, busy %v\n", lr.Bytes, lr.Busy)
 		}
 	}
+	if *phases {
+		fmt.Println()
+		rec.WritePhaseReport(os.Stdout)
+		if ar := rec.CollectiveArrivals(); ar.Ops > 0 {
+			fmt.Printf("arrival skew: %d ops, spread max %v mean %v, imbalance max %.3f mean %.3f\n",
+				ar.Ops, ar.MaxSpread, ar.MeanSpread, ar.MaxImbalance, ar.MeanImbalance)
+		}
+	}
+	if *critpath {
+		fmt.Println()
+		rec.CriticalPath().Write(os.Stdout)
+	}
+	if *metricsFlag {
+		fmt.Println()
+		w.Metrics().WriteText(os.Stdout)
+	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
@@ -108,6 +132,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d events to %s\n", rec.Len(), *csvPath)
+	}
+	if *chromePath != "" {
+		f, err := os.Create(*chromePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		nodeOf := func(rank int) int { return job.Place(rank).Node }
+		if err := rec.WriteChrome(f, nodeOf); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d events to %s (open in Perfetto)\n", rec.Len(), *chromePath)
 	}
 }
 

@@ -24,12 +24,16 @@ import (
 // PerfScenario is one kernel-throughput measurement: a fixed simulated
 // workload with its event count and host wall time.
 type PerfScenario struct {
-	Name         string  `json:"name"`
-	Procs        int     `json:"procs"`
-	Events       uint64  `json:"events"`
-	Switches     uint64  `json:"context_switches"`
-	WallSec      float64 `json:"wall_sec"`
-	EventsPerSec float64 `json:"events_per_sec"`
+	Name     string `json:"name"`
+	Procs    int    `json:"procs"`
+	Events   uint64 `json:"events"`
+	Switches uint64 `json:"context_switches"`
+	// HeapHighWater is the scheduler's peak pending-event count — the
+	// memory-footprint side of throughput. omitempty keeps reports from
+	// older baselines comparable (CheckRegression ignores the field).
+	HeapHighWater uint64  `json:"heap_high_water,omitempty"`
+	WallSec       float64 `json:"wall_sec"`
+	EventsPerSec  float64 `json:"events_per_sec"`
 }
 
 // PerfFigure is the wall-clock cost of regenerating one figure.
@@ -72,11 +76,12 @@ func perfScenario(name string, cl *topology.Cluster, nodes, ppn int, spec core.S
 		return PerfScenario{}, fmt.Errorf("%s: %w", name, err)
 	}
 	s := PerfScenario{
-		Name:     name,
-		Procs:    job.NumProcs(),
-		Events:   w.Kernel.Stats.Events,
-		Switches: w.Kernel.Stats.ContextSwitch,
-		WallSec:  wall,
+		Name:          name,
+		Procs:         job.NumProcs(),
+		Events:        w.Kernel.Stats.Events,
+		Switches:      w.Kernel.Stats.ContextSwitch,
+		HeapHighWater: w.Kernel.Stats.HeapHighWater,
+		WallSec:       wall,
 	}
 	if wall > 0 {
 		s.EventsPerSec = float64(s.Events) / wall

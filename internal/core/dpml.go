@@ -1,6 +1,9 @@
 package core
 
-import "dpml/internal/mpi"
+import (
+	"dpml/internal/mpi"
+	"dpml/internal/trace"
+)
 
 // dpml runs the four-phase Data Partitioning-based Multi-Leader allreduce
 // of Section 4.1 (chunks > 1 switches Phase 3 to the pipelined variant of
@@ -28,12 +31,15 @@ func (e *Engine) dpmlInstrumented(r *mpi.Rank, op *mpi.Op, vec *mpi.Vector, lead
 	job := e.W.Job
 	pl := r.Place()
 	ppn := job.PPN
+	rec := e.W.Tracer()
 
 	if ppn == 1 {
 		// Single process per node: the shared-memory phases are
 		// identity operations; go straight to the inter-node phase.
 		start := r.Now()
+		sp := rec.BeginSpan(r.Rank(), trace.PhaseInter, start)
 		e.interNode(r, e.leaderComms[0], op, vec, chunks, interAlg)
+		sp.End(r.Now())
 		if pt != nil {
 			pt.Inter += r.Now().Sub(start)
 		}
@@ -46,12 +52,14 @@ func (e *Engine) dpmlInstrumented(r *mpi.Rank, op *mpi.Op, vec *mpi.Vector, lead
 
 	// Phase 1: concurrent gather of partitions into leader segments.
 	start := r.Now()
+	sp := rec.BeginSpan(r.Rank(), trace.PhaseCopy, start)
 	for j := 0; j < leaders; j++ {
 		part := vec.Slice(displs[j], displs[j]+cnts[j])
 		cross := pl.Socket != e.leaderSocket[j]
 		r.MemCopy(cross, part.Bytes())
 		rg.Put(seq, leaders, j, pl.LocalRank, part.Clone())
 	}
+	sp.End(r.Now())
 	if pt != nil {
 		pt.Copy += r.Now().Sub(start)
 	}
@@ -60,26 +68,31 @@ func (e *Engine) dpmlInstrumented(r *mpi.Rank, op *mpi.Op, vec *mpi.Vector, lead
 		j := pl.LocalRank
 		// Phase 2: reduce the gathered partitions.
 		start = r.Now()
+		sp = rec.BeginSpan(r.Rank(), trace.PhaseReduce, start)
 		slots := rg.GatherWait(r.Proc(), seq, leaders, j, ppn)
 		e.gatherSync(r, j, false)
 		acc := slots[0].Clone()
 		for i := 1; i < ppn; i++ {
 			r.Reduce(op, acc, slots[i])
 		}
+		sp.End(r.Now())
 		if pt != nil {
 			pt.Reduce += r.Now().Sub(start)
 		}
 		// Phase 3: inter-node allreduce with same-index leaders.
 		start = r.Now()
+		sp = rec.BeginSpan(r.Rank(), trace.PhaseInter, start)
 		e.interNode(r, e.leaderComms[j], op, acc, chunks, interAlg)
 		if pt != nil {
 			pt.Inter += r.Now().Sub(start)
 		}
 		rg.Publish(seq, leaders, j, acc)
+		sp.End(r.Now())
 	}
 
 	// Phase 4: concurrent broadcast of the reduced partitions.
 	start = r.Now()
+	sp = rec.BeginSpan(r.Rank(), trace.PhaseBcast, start)
 	for j := 0; j < leaders; j++ {
 		res := rg.ResultWait(r.Proc(), seq, leaders, j)
 		cross := pl.Socket != e.leaderSocket[j]
@@ -87,6 +100,7 @@ func (e *Engine) dpmlInstrumented(r *mpi.Rank, op *mpi.Op, vec *mpi.Vector, lead
 		vec.Slice(displs[j], displs[j]+cnts[j]).CopyFrom(res)
 	}
 	rg.DoneCopy(seq)
+	sp.End(r.Now())
 	if pt != nil {
 		pt.Bcast += r.Now().Sub(start)
 	}

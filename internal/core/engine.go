@@ -223,22 +223,18 @@ func (e *Engine) Allreduce(r *mpi.Rank, s Spec, op *mpi.Op, vec *mpi.Vector) err
 	if err := e.Validate(s); err != nil {
 		return err
 	}
-	if rec := e.W.Tracer(); rec != nil {
-		start := r.Now()
-		defer func() {
-			rec.Add(trace.Event{
-				Rank: r.Rank(), Kind: trace.KindCollective, Label: s.String(),
-				Start: start, End: r.Now(), Bytes: vec.Bytes(),
-			})
-		}()
-	}
+	rec := e.W.Tracer()
+	coll := rec.BeginCollective(r.Rank(), s.String(), vec.Bytes(), r.Now())
+	defer func() { coll.End(r.Now()) }()
 	switch s.Design {
 	case DesignFlat:
 		alg := s.FlatAlg
 		if alg == "" {
 			alg = mpi.AlgRecursiveDoubling
 		}
+		sp := rec.BeginSpan(r.Rank(), trace.PhaseFlat, r.Now())
 		r.Allreduce(e.W.CommWorld(), alg, op, vec)
+		sp.End(r.Now())
 	case DesignDPML:
 		e.dpml(r, op, vec, s.Leaders, 1, s.InterAlg)
 	case DesignDPMLPipelined:

@@ -5,6 +5,7 @@ import (
 
 	"dpml/internal/mpi"
 	"dpml/internal/sim"
+	"dpml/internal/trace"
 )
 
 // This file implements the paper's stated future work ("we would like to
@@ -34,9 +35,14 @@ func (e *Engine) Reduce(r *mpi.Rank, s Spec, op *mpi.Op, root int, vec *mpi.Vect
 	ppn := job.PPN
 	leaders := s.Leaders
 	rootNode := job.Place(root).Node
+	rec := e.W.Tracer()
+	coll := rec.BeginCollective(r.Rank(), "reduce:"+s.String(), vec.Bytes(), r.Now())
+	defer func() { coll.End(r.Now()) }()
 
 	if ppn == 1 {
+		sp := rec.BeginSpan(r.Rank(), trace.PhaseInter, r.Now())
 		r.ReduceColl(e.leaderComms[0], rootNode, op, vec)
+		sp.End(r.Now())
 		return nil
 	}
 
@@ -45,28 +51,35 @@ func (e *Engine) Reduce(r *mpi.Rank, s Spec, op *mpi.Op, root int, vec *mpi.Vect
 	cnts, displs := mpi.BlockPartition(vec.Len(), leaders)
 
 	// Phases 1-2: identical to allreduce.
+	sp := rec.BeginSpan(r.Rank(), trace.PhaseCopy, r.Now())
 	for j := 0; j < leaders; j++ {
 		part := vec.Slice(displs[j], displs[j]+cnts[j])
 		cross := pl.Socket != e.leaderSocket[j]
 		r.MemCopy(cross, part.Bytes())
 		rg.Put(seq, leaders, j, pl.LocalRank, part.Clone())
 	}
+	sp.End(r.Now())
 	if pl.LocalRank < leaders {
 		j := pl.LocalRank
+		sp = rec.BeginSpan(r.Rank(), trace.PhaseReduce, r.Now())
 		slots := rg.GatherWait(r.Proc(), seq, leaders, j, ppn)
 		e.gatherSync(r, j, false)
 		acc := slots[0].Clone()
 		for i := 1; i < ppn; i++ {
 			r.Reduce(op, acc, slots[i])
 		}
+		sp.End(r.Now())
 		// Phase 3: inter-node reduce rooted at root's node.
+		sp = rec.BeginSpan(r.Rank(), trace.PhaseInter, r.Now())
 		r.ReduceColl(e.leaderComms[j], rootNode, op, acc)
 		if pl.Node == rootNode {
 			rg.Publish(seq, leaders, j, acc)
 		}
+		sp.End(r.Now())
 	}
 	// Phase 4: only root copies the result out; everyone releases the
 	// operation.
+	sp = rec.BeginSpan(r.Rank(), trace.PhaseBcast, r.Now())
 	if r.Rank() == root {
 		for j := 0; j < leaders; j++ {
 			res := rg.ResultWait(r.Proc(), seq, leaders, j)
@@ -76,6 +89,7 @@ func (e *Engine) Reduce(r *mpi.Rank, s Spec, op *mpi.Op, root int, vec *mpi.Vect
 		}
 	}
 	rg.DoneCopy(seq)
+	sp.End(r.Now())
 	return nil
 }
 
@@ -101,9 +115,14 @@ func (e *Engine) Bcast(r *mpi.Rank, s Spec, root int, vec *mpi.Vector) error {
 	ppn := job.PPN
 	leaders := s.Leaders
 	rootPl := job.Place(root)
+	rec := e.W.Tracer()
+	coll := rec.BeginCollective(r.Rank(), "bcast:"+s.String(), vec.Bytes(), r.Now())
+	defer func() { coll.End(r.Now()) }()
 
 	if ppn == 1 {
+		sp := rec.BeginSpan(r.Rank(), trace.PhaseInter, r.Now())
 		r.Bcast(e.leaderComms[0], rootPl.Node, vec)
+		sp.End(r.Now())
 		return nil
 	}
 
@@ -113,15 +132,18 @@ func (e *Engine) Bcast(r *mpi.Rank, s Spec, root int, vec *mpi.Vector) error {
 
 	// Root scatters its partitions into shared memory.
 	if r.Rank() == root {
+		sp := rec.BeginSpan(r.Rank(), trace.PhaseCopy, r.Now())
 		for j := 0; j < leaders; j++ {
 			part := vec.Slice(displs[j], displs[j]+cnts[j])
 			cross := pl.Socket != e.leaderSocket[j]
 			r.MemCopy(cross, part.Bytes())
 			rg.Put(seq, leaders, j, pl.LocalRank, part.Clone())
 		}
+		sp.End(r.Now())
 	}
 	if pl.LocalRank < leaders {
 		j := pl.LocalRank
+		sp := rec.BeginSpan(r.Rank(), trace.PhaseInter, r.Now())
 		var part *mpi.Vector
 		if pl.Node == rootPl.Node {
 			slots := rg.GatherWait(r.Proc(), seq, leaders, j, 1)
@@ -132,7 +154,9 @@ func (e *Engine) Bcast(r *mpi.Rank, s Spec, root int, vec *mpi.Vector) error {
 		// Concurrent inter-node broadcasts, one per leader.
 		r.Bcast(e.leaderComms[j], rootPl.Node, part)
 		rg.Publish(seq, leaders, j, part)
+		sp.End(r.Now())
 	}
+	sp := rec.BeginSpan(r.Rank(), trace.PhaseBcast, r.Now())
 	for j := 0; j < leaders; j++ {
 		res := rg.ResultWait(r.Proc(), seq, leaders, j)
 		cross := pl.Socket != e.leaderSocket[j]
@@ -140,6 +164,7 @@ func (e *Engine) Bcast(r *mpi.Rank, s Spec, root int, vec *mpi.Vector) error {
 		vec.Slice(displs[j], displs[j]+cnts[j]).CopyFrom(res)
 	}
 	rg.DoneCopy(seq)
+	sp.End(r.Now())
 	return nil
 }
 

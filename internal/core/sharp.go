@@ -33,10 +33,13 @@ func (e *Engine) sharpAllreduce(r *mpi.Rank, op *mpi.Op, vec *mpi.Vector, socket
 	job := e.W.Job
 	pl := r.Place()
 	ppn := job.PPN
+	rec := e.W.Tracer()
 
 	if ppn == 1 {
 		// The designs coincide: the single local rank is the leader.
+		sp := rec.BeginSpan(r.Rank(), trace.PhaseSharp, r.Now())
 		e.sharpOp(r, group, host, op, vec)
+		sp.End(r.Now())
 		return
 	}
 
@@ -52,11 +55,14 @@ func (e *Engine) sharpAllreduce(r *mpi.Rank, op *mpi.Op, vec *mpi.Vector, socket
 
 	// Gather: full input to this rank's leader. Leader indices in the
 	// region are local rank numbers, so segments never collide.
+	sp := rec.BeginSpan(r.Rank(), trace.PhaseCopy, r.Now())
 	cross := pl.Socket != e.leaderSocket[leader]
 	r.MemCopy(cross, vec.Bytes())
 	rg.Put(seq, ppn, leader, pl.LocalRank, vec.Clone())
+	sp.End(r.Now())
 
 	if pl.LocalRank == leader {
+		sp = rec.BeginSpan(r.Rank(), trace.PhaseReduce, r.Now())
 		slots := rg.GatherWait(r.Proc(), seq, ppn, leader, want)
 		e.gatherSync(r, leader, socketLevel)
 		var acc *mpi.Vector
@@ -70,15 +76,20 @@ func (e *Engine) sharpAllreduce(r *mpi.Rank, op *mpi.Op, vec *mpi.Vector, socket
 			}
 			r.Reduce(op, acc, s)
 		}
+		sp.End(r.Now())
+		sp = rec.BeginSpan(r.Rank(), trace.PhaseSharp, r.Now())
 		e.sharpOp(r, group, host, op, acc)
 		rg.Publish(seq, ppn, leader, acc)
+		sp.End(r.Now())
 	}
 
 	// Broadcast: copy the result back from this rank's leader.
+	sp = rec.BeginSpan(r.Rank(), trace.PhaseBcast, r.Now())
 	res := rg.ResultWait(r.Proc(), seq, ppn, leader)
 	r.MemCopy(cross, res.Bytes())
 	vec.CopyFrom(res)
 	rg.DoneCopy(seq)
+	sp.End(r.Now())
 }
 
 // sharpOp runs one in-network reduction for this leader, folding real

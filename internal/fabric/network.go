@@ -14,6 +14,13 @@ type hca struct {
 	down     *Link
 	nextFree sim.Time
 	gapScale float64 // injection-gap multiplier; 0 or 1 = nominal rate
+
+	// Injection-queue observability (host-side counters; never read by
+	// the simulation): total slots reserved, and the deepest backlog a
+	// message ever saw — how far behind its arrival the injector clock
+	// was when the slot was reserved.
+	injections uint64
+	maxBacklog sim.Duration
 }
 
 // Network models the inter-node interconnect of one job: per-node HCAs
@@ -118,7 +125,12 @@ func (ep *Endpoint) InjectDelay() sim.Duration {
 		gap = sim.Duration(float64(gap) * h.gapScale)
 	}
 	h.nextFree = start.Add(gap)
-	return start.Sub(now)
+	wait := start.Sub(now)
+	h.injections++
+	if wait > h.maxBacklog {
+		h.maxBacklog = wait
+	}
+	return wait
 }
 
 // HCALinks exposes the uplink and downlink of one node's HCA, so the
@@ -257,6 +269,31 @@ type LinkReport struct {
 
 func report(l *Link) LinkReport {
 	return LinkReport{Name: l.Name(), Capacity: l.Capacity(), Bytes: l.BytesMoved(), Busy: l.BusyTime()}
+}
+
+// InjectReport summarizes one HCA's injection-queue activity: how many
+// messages reserved slots and the deepest backlog any of them waited
+// behind.
+type InjectReport struct {
+	Node       int
+	HCA        int
+	Messages   uint64
+	MaxBacklog sim.Duration
+}
+
+// InjectReports returns per-HCA injection-queue activity in node/HCA
+// order.
+func (n *Network) InjectReports() []InjectReport {
+	var out []InjectReport
+	for node, hcas := range n.nodes {
+		for idx, h := range hcas {
+			out = append(out, InjectReport{
+				Node: node, HCA: idx,
+				Messages: h.injections, MaxBacklog: h.maxBacklog,
+			})
+		}
+	}
+	return out
 }
 
 // Report returns per-link activity for every NIC link (and the core

@@ -221,7 +221,9 @@ func ParseSpec(s string) (*Spec, error) {
 		intensity := DefaultIntensity
 		if val != "" {
 			f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
-			if err != nil || f <= 0 || f > 1 {
+			// The inverted comparison also rejects NaN, which satisfies
+			// neither f <= 0 nor f > 1.
+			if err != nil || !(f > 0 && f <= 1) {
 				return nil, fmt.Errorf("faults: bad intensity %q in %q (want a number in (0,1])", val, term)
 			}
 			intensity = f
@@ -253,16 +255,19 @@ func ParseSpec(s string) (*Spec, error) {
 	return spec, nil
 }
 
-// String renders the spec in ParseSpec's syntax.
+// String renders the spec in ParseSpec's syntax. Every class carries the
+// intensity explicitly — a trailing "@i" would bind only to the last
+// class on re-parse, averaging the rest at the default and silently
+// changing the spec.
 func (s *Spec) String() string {
 	if s == nil || len(s.Classes) == 0 {
 		return ""
 	}
 	parts := make([]string, len(s.Classes))
 	for i, c := range s.Classes {
-		parts[i] = string(c)
+		parts[i] = fmt.Sprintf("%s@%g", c, s.Intensity)
 	}
-	return fmt.Sprintf("%s@%g", strings.Join(parts, ","), s.Intensity)
+	return strings.Join(parts, ",")
 }
 
 // splitmix64 is the generator behind plan instantiation: tiny, seedable,

@@ -153,6 +153,10 @@ type Kernel struct {
 	Stats struct {
 		Events        uint64
 		ContextSwitch uint64
+		// HeapHighWater is the largest number of events pending at once —
+		// the scheduler's memory footprint peak. A host-side counter only;
+		// tracking it cannot affect virtual time.
+		HeapHighWater uint64
 	}
 }
 
@@ -192,6 +196,9 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 		e = &Event{at: t, seq: k.seq, fn: fn}
 	}
 	k.events.push(e)
+	if n := uint64(k.events.len()); n > k.Stats.HeapHighWater {
+		k.Stats.HeapHighWater = n
+	}
 	return e
 }
 

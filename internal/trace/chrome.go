@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteChrome exports the trace in the Chrome trace_event JSON format
+// (the "JSON Array Format" with complete "X" events), loadable in
+// Perfetto or chrome://tracing. Ranks map to threads (tid) and nodes to
+// processes (pid) via nodeOf; a nil nodeOf puts every rank in process 0.
+// Timestamps are microseconds (float, so nanosecond precision survives).
+//
+// Container spans (collectives and phases) and leaf events all become
+// duration events on the rank's track; the viewer nests them by time,
+// which reproduces the span hierarchy because spans strictly nest.
+// Output is deterministic: metadata first (sorted by rank), then events
+// in record order.
+func (t *Recorder) WriteChrome(w io.Writer, nodeOf func(rank int) int) error {
+	if nodeOf == nil {
+		nodeOf = func(int) int { return 0 }
+	}
+	bw := &errWriter{w: w}
+	bw.str(`{"displayTimeUnit":"ns","traceEvents":[`)
+
+	// Metadata: name each process (node) and thread (rank) once.
+	ranks := map[int]bool{}
+	for _, e := range t.Events() {
+		ranks[e.Rank] = true
+	}
+	sorted := make([]int, 0, len(ranks))
+	for r := range ranks {
+		sorted = append(sorted, r)
+	}
+	sort.Ints(sorted)
+	first := true
+	nodesNamed := map[int]bool{}
+	for _, r := range sorted {
+		node := nodeOf(r)
+		if !nodesNamed[node] {
+			nodesNamed[node] = true
+			bw.sep(&first)
+			bw.str(fmt.Sprintf(
+				`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":"node %d"}}`,
+				node, node))
+		}
+		bw.sep(&first)
+		bw.str(fmt.Sprintf(
+			`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"rank %d"}}`,
+			node, r, r))
+	}
+
+	for _, e := range t.Events() {
+		name := string(e.Kind)
+		switch e.Kind {
+		case KindPhase, KindCollective, KindFallback:
+			name = e.Label
+		}
+		bw.sep(&first)
+		bw.str(fmt.Sprintf(
+			`{"ph":"X","name":%s,"cat":%s,"pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"label":%s,"phase":%s,"bytes":%d}}`,
+			jsonString(name), jsonString(string(e.Kind)),
+			nodeOf(e.Rank), e.Rank,
+			micros(int64(e.Start)), micros(int64(e.Duration())),
+			jsonString(e.Label), jsonString(e.Phase), e.Bytes))
+	}
+	bw.str("]}\n")
+	return bw.err
+}
+
+// micros renders a nanosecond count as a decimal microsecond literal with
+// no floating-point rounding: 1234 ns -> "1.234".
+func micros(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	whole, frac := ns/1000, ns%1000
+	if frac == 0 {
+		return fmt.Sprintf("%s%d", neg, whole)
+	}
+	s := fmt.Sprintf("%s%d.%03d", neg, whole, frac)
+	return strings.TrimRight(s, "0")
+}
+
+// jsonString quotes s as a JSON string literal.
+func jsonString(s string) string {
+	return strconv.Quote(s)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *errWriter) str(s string) {
+	if b.err == nil {
+		_, b.err = io.WriteString(b.w, s)
+	}
+}
+
+func (b *errWriter) sep(first *bool) {
+	if *first {
+		*first = false
+		return
+	}
+	b.str(",\n")
+}

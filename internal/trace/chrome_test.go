@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// chromeDoc mirrors the Chrome trace_event JSON array format for
+// structural validation.
+type chromeDoc struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Ph   string          `json:"ph"`
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+func TestChromeExportStructure(t *testing.T) {
+	r := buildSpanTrace()
+	var b strings.Builder
+	// One rank per node, so pids differ per tid.
+	if err := r.WriteChrome(&b, func(rank int) int { return rank }); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, complete int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e.Dur < 0 || e.Ts < 0 {
+				t.Errorf("negative ts/dur: %+v", e)
+			}
+			if e.Pid != e.Tid {
+				t.Errorf("pid %d != tid %d under identity nodeOf", e.Pid, e.Tid)
+			}
+		default:
+			t.Errorf("unexpected ph %q", e.Ph)
+		}
+	}
+	// 2 process_name + 2 thread_name; every recorded event becomes one X.
+	if meta != 4 {
+		t.Errorf("metadata events = %d, want 4", meta)
+	}
+	if complete != r.Len() {
+		t.Errorf("complete events = %d, want %d", complete, r.Len())
+	}
+}
+
+func TestChromeTimesAreExact(t *testing.T) {
+	// 1234 ns must render as 1.234 us with no float rounding.
+	r := New(0)
+	r.Add(Event{Rank: 0, Kind: KindCompute, Start: 1234, End: 2468})
+	var b strings.Builder
+	if err := r.WriteChrome(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"ts":1.234`) || !strings.Contains(out, `"dur":1.234`) {
+		t.Fatalf("timestamps not exact:\n%s", out)
+	}
+}
+
+func TestMicros(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{0, "0"}, {1000, "1"}, {1234, "1.234"}, {1230, "1.23"},
+		{999, "0.999"}, {1, "0.001"}, {-1500, "-1.5"},
+	}
+	for _, c := range cases {
+		if got := micros(c.ns); got != c.want {
+			t.Errorf("micros(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// under -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestChromeGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildSpanTrace().WriteChrome(&b, func(rank int) int { return rank }); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "chrome", b.String())
+}
+
+func TestPhaseReportGolden(t *testing.T) {
+	var b strings.Builder
+	buildSpanTrace().WritePhaseReport(&b)
+	golden(t, "phases", b.String())
+}

@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dpml/internal/sim"
+)
+
+// Critical-path analysis over the recorded event DAG.
+//
+// The dependency structure is implicit in the trace: leaf events on one
+// rank are ordered by program order (the simulation runs each rank as a
+// sequential process), and a recv depends on its matched send. Sends and
+// recvs are paired FIFO per (src, dst) — the runtime labels them "->dst"
+// and "<-src", and the simulated channels deliver in order, so the i-th
+// send from A to B matches the i-th recv on B from A.
+//
+// Every event is recorded when it completes, and a recv cannot complete
+// before its matched send, so both edge families point from a lower
+// record index to a higher one. That makes reverse record order a
+// reverse-topological order of the DAG, which the slack pass exploits.
+
+// CritStep is one event on the critical path, walking backward from the
+// completion-determining event. Wait is the idle gap the path spent
+// before this event started (blocked on a predecessor); Busy is the part
+// of the path's timeline this event itself accounts for.
+type CritStep struct {
+	Event Event
+	Wait  sim.Duration
+	Busy  sim.Duration
+}
+
+// PhaseSlack summarizes one phase's contribution to (and distance from)
+// the critical path.
+type PhaseSlack struct {
+	Phase string
+	Busy  sim.Duration // busy time on the critical path attributed to this phase
+	Wait  sim.Duration // wait time on the critical path entering events of this phase
+	Slack sim.Duration // minimum slack over ALL events of the phase (0 = on the path)
+	Count int          // events of this phase on the critical path
+}
+
+// CritPath is the result of CriticalPath: the completion-determining
+// chain (in forward time order) and the per-phase attribution.
+type CritPath struct {
+	Steps  []CritStep
+	Total  sim.Duration // makespan: latest event end over the trace
+	Phases []PhaseSlack // canonical phase order; "" phase rendered as "(none)"
+}
+
+type critEvent struct {
+	Event
+	rank int
+	peer int  // message peer, when send/recv
+	msg  bool // labeled send/recv with a parseable peer
+}
+
+// CriticalPath extracts the completion-determining chain from the
+// recorded leaf events (container spans — collectives and phases — are
+// skipped; they aggregate leaves, they don't add dependencies). The walk
+// starts at the last event to finish and repeatedly steps to the
+// predecessor that finished last: the previous event on the same rank,
+// or, for a recv, its matched send. A PERT-style backward pass then
+// computes every event's slack — how much later it could have finished
+// without moving the makespan — and each phase reports the minimum slack
+// over its events: a phase with zero slack gates completion.
+func (t *Recorder) CriticalPath() CritPath {
+	var evs []critEvent
+	for _, e := range t.Events() {
+		switch e.Kind {
+		case KindCollective, KindPhase, KindFallback:
+			continue
+		}
+		ce := critEvent{Event: e, rank: e.Rank, peer: -1}
+		var peer int
+		switch e.Kind {
+		case KindSend:
+			if _, err := fmt.Sscanf(e.Label, "->%d", &peer); err == nil {
+				ce.peer, ce.msg = peer, true
+			}
+		case KindRecv:
+			if _, err := fmt.Sscanf(e.Label, "<-%d", &peer); err == nil {
+				ce.peer, ce.msg = peer, true
+			}
+		}
+		evs = append(evs, ce)
+	}
+	var cp CritPath
+	if len(evs) == 0 {
+		return cp
+	}
+
+	// Per-rank program order and FIFO message matching, both in record
+	// order (= completion order).
+	prevOnRank := make([]int, len(evs)) // index of previous leaf on same rank, -1
+	nextOnRank := make([]int, len(evs))
+	lastOnRank := map[int]int{}
+	type chanKey struct{ src, dst int }
+	pendingSends := map[chanKey][]int{}
+	match := make([]int, len(evs)) // recv -> its send, send -> its recv, else -1
+	for i := range match {
+		match[i] = -1
+	}
+	for i, e := range evs {
+		if j, ok := lastOnRank[e.rank]; ok {
+			prevOnRank[i] = j
+			nextOnRank[j] = i
+		} else {
+			prevOnRank[i] = -1
+		}
+		nextOnRank[i] = -1
+		lastOnRank[e.rank] = i
+		if !e.msg {
+			continue
+		}
+		switch e.Kind {
+		case KindSend:
+			k := chanKey{e.rank, e.peer}
+			pendingSends[k] = append(pendingSends[k], i)
+		case KindRecv:
+			k := chanKey{e.peer, e.rank}
+			if q := pendingSends[k]; len(q) > 0 {
+				match[i], match[q[0]] = q[0], i
+				pendingSends[k] = q[1:]
+			}
+		}
+	}
+
+	// Terminal: the last event to finish (ties broken toward the later
+	// record, which finished "most recently").
+	term := 0
+	for i, e := range evs {
+		if e.End >= evs[term].End {
+			term = i
+		}
+	}
+	makespan := evs[term].End
+
+	// Backward greedy walk: always follow the predecessor that finished
+	// last — the one the current event was actually waiting on.
+	var chain []int
+	for cur := term; cur >= 0; {
+		chain = append(chain, cur)
+		pred := prevOnRank[cur]
+		if evs[cur].Kind == KindRecv && match[cur] >= 0 {
+			if pred < 0 || evs[match[cur]].End > evs[pred].End {
+				pred = match[cur]
+			}
+		}
+		cur = pred
+	}
+	// Reverse into forward time order and split each step's timeline
+	// segment into wait (idle before start) and busy.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	segStart := sim.Time(0)
+	for _, idx := range chain {
+		e := evs[idx]
+		wait := sim.Duration(0)
+		if e.Start > segStart {
+			wait = e.Start.Sub(segStart)
+		}
+		busyFrom := e.Start
+		if segStart > busyFrom {
+			busyFrom = segStart
+		}
+		cp.Steps = append(cp.Steps, CritStep{Event: e.Event, Wait: wait, Busy: e.End.Sub(busyFrom)})
+		segStart = e.End
+	}
+	cp.Total = makespan.Sub(0)
+
+	// Slack: latest finish LF(e) = min over successors of when e must be
+	// done for them to still make their own LF. Reverse record order is
+	// reverse-topological (see package comment), so one pass suffices.
+	lf := make([]sim.Time, len(evs))
+	for i := range lf {
+		lf[i] = makespan
+	}
+	for i := len(evs) - 1; i >= 0; i-- {
+		if n := nextOnRank[i]; n >= 0 {
+			// Program order: the next event on the rank occupies
+			// [max(its Start, e.End), its End]; e must finish dur(n)
+			// before LF(n).
+			if v := lf[n] - sim.Time(evs[n].Duration()); v < lf[i] {
+				lf[i] = v
+			}
+		}
+		if evs[i].Kind == KindSend && match[i] >= 0 {
+			// Message edge: the matched recv finished (recv.End - send.End)
+			// after this send; delaying the send delays the recv in kind.
+			r := match[i]
+			if v := lf[r] - (evs[r].End - evs[i].End); v < lf[i] {
+				lf[i] = v
+			}
+		}
+	}
+
+	// Per-phase attribution: busy/wait from the path, slack from all events.
+	acc := map[string]*PhaseSlack{}
+	get := func(phase string) *PhaseSlack {
+		s, ok := acc[phase]
+		if !ok {
+			s = &PhaseSlack{Phase: phase, Slack: -1}
+			acc[phase] = s
+		}
+		return s
+	}
+	for _, st := range cp.Steps {
+		s := get(st.Event.Phase)
+		s.Busy += st.Busy
+		s.Wait += st.Wait
+		s.Count++
+	}
+	for i, e := range evs {
+		s := get(e.Phase)
+		slack := lf[i].Sub(e.End)
+		if s.Slack < 0 || slack < s.Slack {
+			s.Slack = slack
+		}
+	}
+	for _, s := range acc {
+		if s.Slack < 0 {
+			s.Slack = 0
+		}
+		cp.Phases = append(cp.Phases, *s)
+	}
+	sort.Slice(cp.Phases, func(i, j int) bool { return phaseLess(cp.Phases[i].Phase, cp.Phases[j].Phase) })
+	return cp
+}
+
+// Write renders the critical path: the per-phase attribution table and
+// the tail of the chain (the steps closest to completion, where the
+// final latency is decided).
+func (cp CritPath) Write(w io.Writer) {
+	fmt.Fprintf(w, "critical path: %d steps, makespan %v\n", len(cp.Steps), cp.Total)
+	var busy, wait sim.Duration
+	for _, st := range cp.Steps {
+		busy += st.Busy
+		wait += st.Wait
+	}
+	fmt.Fprintf(w, "  path busy %v, path wait %v\n", busy, wait)
+	fmt.Fprintf(w, "  %-14s %8s %14s %14s %14s\n", "phase", "steps", "path busy", "path wait", "min slack")
+	for _, p := range cp.Phases {
+		name := p.Phase
+		if name == "" {
+			name = "(none)"
+		}
+		fmt.Fprintf(w, "  %-14s %8d %14v %14v %14v\n", name, p.Count, p.Busy, p.Wait, p.Slack)
+	}
+	const tail = 12
+	start := len(cp.Steps) - tail
+	if start < 0 {
+		start = 0
+	}
+	if start > 0 {
+		fmt.Fprintf(w, "  ... %d earlier steps elided ...\n", start)
+	}
+	for _, st := range cp.Steps[start:] {
+		e := st.Event
+		phase := e.Phase
+		if phase == "" {
+			phase = "-"
+		}
+		fmt.Fprintf(w, "  rank %-5d %-8s %-16s phase=%-14s wait=%-12v busy=%v\n",
+			e.Rank, e.Kind, e.Label, phase, st.Wait, st.Busy)
+	}
+}

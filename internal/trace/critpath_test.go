@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCritTrace hand-builds a three-rank trace with a known critical
+// path. Events are added in completion order, as the runtime does.
+//
+//	rank 0: compute [0,100]   send->1 [100,200]   recv<-1 [200,410]
+//	rank 1: compute [0,300]   recv<-0 [300,310]   send->0 [310,400]
+//	rank 2: compute [0,50]    (idle after — pure slack)
+//
+// The makespan (410) is decided by rank 1's slow compute: the chain is
+// r1.compute -> r1.recv -> r1.send -> r0.recv.
+func buildCritTrace() *Recorder {
+	r := New(0)
+	r.Add(Event{Rank: 2, Kind: KindCompute, Phase: PhaseReduce, Start: 0, End: 50})
+	r.Add(Event{Rank: 0, Kind: KindCompute, Phase: PhaseReduce, Start: 0, End: 100})
+	r.Add(Event{Rank: 0, Kind: KindSend, Label: "->1", Phase: PhaseInter, Start: 100, End: 200, Bytes: 64})
+	r.Add(Event{Rank: 1, Kind: KindCompute, Phase: PhaseReduce, Start: 0, End: 300})
+	r.Add(Event{Rank: 1, Kind: KindRecv, Label: "<-0", Phase: PhaseInter, Start: 300, End: 310, Bytes: 64})
+	r.Add(Event{Rank: 1, Kind: KindSend, Label: "->0", Phase: PhaseInter, Start: 310, End: 400, Bytes: 64})
+	r.Add(Event{Rank: 0, Kind: KindRecv, Label: "<-1", Phase: PhaseInter, Start: 200, End: 410, Bytes: 64})
+	return r
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	cp := buildCritTrace().CriticalPath()
+	if cp.Total != 410 {
+		t.Fatalf("Total = %v, want 410", cp.Total)
+	}
+	type step struct {
+		rank int
+		kind Kind
+	}
+	want := []step{{1, KindCompute}, {1, KindRecv}, {1, KindSend}, {0, KindRecv}}
+	if len(cp.Steps) != len(want) {
+		t.Fatalf("got %d steps: %+v", len(cp.Steps), cp.Steps)
+	}
+	var busy, wait int64
+	for i, st := range cp.Steps {
+		if st.Event.Rank != want[i].rank || st.Event.Kind != want[i].kind {
+			t.Errorf("step %d = rank %d %s, want rank %d %s",
+				i, st.Event.Rank, st.Event.Kind, want[i].rank, want[i].kind)
+		}
+		busy += int64(st.Busy)
+		wait += int64(st.Wait)
+	}
+	// The path tiles the makespan: busy + wait == total.
+	if busy+wait != int64(cp.Total) {
+		t.Fatalf("busy %d + wait %d != total %v", busy, wait, cp.Total)
+	}
+	// This chain has no idle gaps: each step starts when its predecessor
+	// ends (r0.recv started at 200 but only progressed once r1.send
+	// finished, which the wait/busy split charges as busy-after-pred).
+	if wait != 0 {
+		t.Fatalf("wait = %d, want 0", wait)
+	}
+}
+
+func TestCriticalPathSlack(t *testing.T) {
+	cp := buildCritTrace().CriticalPath()
+	slack := map[string]PhaseSlack{}
+	for _, p := range cp.Phases {
+		slack[p.Phase] = p
+	}
+	// The inter phase contains the zero-slack message chain.
+	if s := slack[PhaseInter]; s.Slack != 0 {
+		t.Fatalf("inter slack = %v, want 0", s.Slack)
+	}
+	// The reduce phase contains rank 1's gating compute (slack 0), so its
+	// min is 0 even though rank 2's compute has 360 of slack.
+	if s := slack[PhaseReduce]; s.Slack != 0 {
+		t.Fatalf("reduce slack = %v, want 0", s.Slack)
+	}
+	// Rank 2's compute must NOT be on the path.
+	for _, st := range cp.Steps {
+		if st.Event.Rank == 2 {
+			t.Fatal("idle rank 2 appeared on the critical path")
+		}
+	}
+}
+
+func TestCriticalPathSlackIsolatedEvent(t *testing.T) {
+	// An event with no successors gets slack = makespan - its end.
+	r := New(0)
+	r.Add(Event{Rank: 0, Kind: KindCompute, Phase: "a", Start: 0, End: 50})
+	r.Add(Event{Rank: 1, Kind: KindCompute, Phase: "b", Start: 0, End: 400})
+	cp := r.CriticalPath()
+	var got PhaseSlack
+	for _, p := range cp.Phases {
+		if p.Phase == "a" {
+			got = p
+		}
+	}
+	if got.Slack != 350 {
+		t.Fatalf("slack = %v, want 350", got.Slack)
+	}
+}
+
+func TestCriticalPathSkipsContainers(t *testing.T) {
+	// Collective/phase spans aggregate leaves; they must not appear as
+	// path steps themselves.
+	cp := buildSpanTrace().CriticalPath()
+	for _, st := range cp.Steps {
+		if st.Event.Kind == KindPhase || st.Event.Kind == KindCollective {
+			t.Fatalf("container %s on the path", st.Event.Kind)
+		}
+	}
+	if len(cp.Steps) == 0 {
+		t.Fatal("empty path")
+	}
+}
+
+func TestCriticalPathWrite(t *testing.T) {
+	var b strings.Builder
+	buildCritTrace().CriticalPath().Write(&b)
+	out := b.String()
+	for _, want := range []string{"critical path: 4 steps", "makespan 0.410us", PhaseInter, "min slack"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCriticalPathEmptyTrace(t *testing.T) {
+	cp := New(0).CriticalPath()
+	if len(cp.Steps) != 0 || cp.Total != 0 {
+		t.Fatalf("empty trace path = %+v", cp)
+	}
+	var b strings.Builder
+	cp.Write(&b) // must not panic
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dpml/internal/sim"
+)
+
+// TestWriteCSVRoundTrip drives labels containing every CSV metacharacter
+// through WriteCSV and back through a standard RFC 4180 reader: each
+// field must survive byte for byte. This is the regression test for the
+// old exporter, which replaced commas with semicolons and let quotes and
+// newlines corrupt the row structure.
+func TestWriteCSVRoundTrip(t *testing.T) {
+	labels := []string{
+		"plain",
+		"with,comma",
+		`with"quote`,
+		"with\nnewline",
+		"with\rcr",
+		`everything,"at
+once"`,
+		"",
+	}
+	r := New(0)
+	for i, l := range labels {
+		r.Add(Event{
+			Rank: i, Kind: KindSend, Label: l, Phase: l,
+			Start: sim.Time(i), End: sim.Time(i + 10), Bytes: i * 3,
+		})
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV unreadable: %v\n%s", err, b.String())
+	}
+	if len(rows) != len(labels)+1 {
+		t.Fatalf("got %d rows, want %d", len(rows), len(labels)+1)
+	}
+	header := strings.Join(rows[0], ",")
+	if header != "rank,kind,label,phase,start_ns,end_ns,bytes" {
+		t.Fatalf("header = %q", header)
+	}
+	for i, l := range labels {
+		row := rows[i+1]
+		if row[2] != l || row[3] != l {
+			t.Errorf("row %d label/phase = %q/%q, want %q", i, row[2], row[3], l)
+		}
+		if rank, _ := strconv.Atoi(row[0]); rank != i {
+			t.Errorf("row %d rank = %q", i, row[0])
+		}
+		if bytes, _ := strconv.Atoi(row[6]); bytes != i*3 {
+			t.Errorf("row %d bytes = %q", i, row[6])
+		}
+	}
+}

@@ -28,6 +28,11 @@ const (
 	// preferred path mid-run (e.g. SHArP offload offline) and completed
 	// the operation another way. Label names the path taken.
 	KindFallback Kind = "fallback"
+	// KindPhase is a span event: one named phase of a collective on one
+	// rank (see Recorder.BeginSpan). Label is the phase name; Phase is the
+	// enclosing phase, if any. Phase events contain the leaf events
+	// recorded while they were open, so they nest in time.
+	KindPhase Kind = "phase"
 )
 
 // Event is one recorded operation.
@@ -35,6 +40,11 @@ type Event struct {
 	Rank  int
 	Kind  Kind
 	Label string // free-form: peer, spec, phase
+	// Phase is the innermost open phase span on the event's rank at
+	// recording time ("" outside any phase). Stamped automatically by Add,
+	// which is how every leaf event gets attributed to the DPML phase it
+	// ran in without call sites knowing about phases.
+	Phase string
 	Start sim.Time
 	End   sim.Time
 	Bytes int
@@ -49,6 +59,7 @@ func (e Event) Duration() sim.Duration { return e.End.Sub(e.Start) }
 type Recorder struct {
 	events []Event
 	limit  int
+	open   [][]*Span // per-rank stack of open spans (see span.go)
 }
 
 // New returns a Recorder that keeps at most limit events (0 = unlimited).
@@ -69,6 +80,9 @@ func (t *Recorder) Add(e Event) {
 	}
 	if e.End < e.Start {
 		panic(fmt.Sprintf("trace: event ends before it starts: %+v", e))
+	}
+	if e.Phase == "" {
+		e.Phase = t.currentPhase(e.Rank)
 	}
 	t.events = append(t.events, e)
 }
@@ -161,16 +175,27 @@ func (t *Recorder) CommMatrix(n int) [][]int64 {
 	return m
 }
 
-// WriteCSV exports the events as CSV (rank, kind, label, start_ns,
-// end_ns, bytes).
+// csvField quotes a free-form field per RFC 4180: fields containing
+// commas, quotes, or line breaks are wrapped in double quotes with inner
+// quotes doubled, so any label round-trips through a standard CSV reader.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// WriteCSV exports the events as CSV (rank, kind, label, phase, start_ns,
+// end_ns, bytes). Labels and phases are RFC 4180-quoted, so embedded
+// commas, quotes, and newlines survive a round trip through encoding/csv.
 func (t *Recorder) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "rank,kind,label,start_ns,end_ns,bytes"); err != nil {
+	if _, err := fmt.Fprintln(w, "rank,kind,label,phase,start_ns,end_ns,bytes"); err != nil {
 		return err
 	}
 	for _, e := range t.Events() {
-		label := strings.ReplaceAll(e.Label, ",", ";")
-		if _, err := fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d\n",
-			e.Rank, e.Kind, label, int64(e.Start), int64(e.End), e.Bytes); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%s,%d,%d,%d\n",
+			e.Rank, csvField(string(e.Kind)), csvField(e.Label), csvField(e.Phase),
+			int64(e.Start), int64(e.End), e.Bytes); err != nil {
 			return err
 		}
 	}

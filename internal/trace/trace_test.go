@@ -96,7 +96,8 @@ func TestCSVAndSummary(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := csv.String()
-	if !strings.Contains(out, "rank,kind,label") || !strings.Contains(out, "0,send,a;b,1,2,3") {
+	if !strings.Contains(out, "rank,kind,label,phase,start_ns,end_ns,bytes") ||
+		!strings.Contains(out, `0,send,"a,b",,1,2,3`) {
 		t.Fatalf("csv:\n%s", out)
 	}
 	var sum strings.Builder
