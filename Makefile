@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci perfcheck faultsmoke fuzz cover bench results perf
+.PHONY: all build test race vet lint ci perfcheck faultsmoke fuzz cover bench results perf
 
 all: build
 
@@ -13,17 +13,23 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs the repo's six invariant analyzers (walltime, globalrand,
+# maprange, spanpair, waitcheck, floateq) over the whole module; it exits
+# non-zero on any finding, including unused //dpml:allow suppressions.
+lint:
+	$(GO) run ./cmd/dpml-lint ./...
+
 race:
 	$(GO) test -race ./...
 
-# ci is the gate: static checks, the full test suite under the race
+# ci is the gate: the invariant analyzers and go vet, the full test suite under the race
 # detector (the sweep pool runs simulations on multiple goroutines, so
 # -race exercises the parallel paths, not just the serial ones), the
 # simulator-throughput check (the quick perf suite must stay within 30%
 # of the committed BENCH_sim.json on the 64-rank scenarios), the
 # fault-matrix smoke pass, a short fuzz pass over the text parsers, and
 # the coverage summary.
-ci: vet race perfcheck faultsmoke fuzz cover
+ci: lint vet race perfcheck faultsmoke fuzz cover
 
 perfcheck:
 	$(GO) run ./cmd/dpml-bench -perf -quick -baseline BENCH_sim.json -o /dev/null

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture is the floateq testdata package, addressed by import path so
+// the tests are independent of the working directory inside the module.
+const fixture = "dpml/internal/lint/testdata/src/floateq"
+
+func TestFindingsExitNonZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "floateq", fixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "floateq: == on floating-point operands") {
+		t.Errorf("stdout missing finding text:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("stderr missing finding count: %s", errb.String())
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-run", "floateq", fixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	golden := filepath.Join("testdata", "floateq.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("-json output differs from %s:\n got:\n%s\nwant:\n%s", golden, out.String(), want)
+	}
+}
+
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "dpml/internal/sim"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"findings": []`) {
+		t.Errorf("clean -json run should emit an empty findings array:\n%s", out.String())
+	}
+}
+
+func TestCleanExitZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"dpml/internal/sim"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run should print nothing, got:\n%s", out.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"walltime", "globalrand", "maprange", "spanpair", "waitcheck", "floateq"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerExits2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

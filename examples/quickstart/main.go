@@ -39,7 +39,7 @@ func main() {
 		// Verify: every element is sum(1..procs).
 		want := float64(procs * (procs + 1) / 2)
 		for i := 0; i < count; i++ {
-			if v.At(i) != want {
+			if v.At(i) != want { //dpml:allow floateq -- oracle: integer-valued sum is exact in float64
 				return fmt.Errorf("rank %d: element %d = %v, want %v", r.Rank(), i, v.At(i), want)
 			}
 		}

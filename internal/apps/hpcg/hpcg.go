@@ -260,7 +260,7 @@ func (s *solver) solve() (Result, error) {
 			return Result{}, err
 		}
 		alpha := 0.0
-		if s.cfg.Real && pap != 0 {
+		if s.cfg.Real && pap != 0 { //dpml:allow floateq -- division guard: only exact zero divides badly
 			alpha = rho / pap
 		}
 		s.axpy(s.x, s.p, alpha)
@@ -270,7 +270,7 @@ func (s *solver) solve() (Result, error) {
 			return Result{}, err
 		}
 		beta := 0.0
-		if s.cfg.Real && rho != 0 {
+		if s.cfg.Real && rho != 0 { //dpml:allow floateq -- division guard: only exact zero divides badly
 			beta = rhoNew / rho
 		}
 		rho = rhoNew

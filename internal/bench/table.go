@@ -148,15 +148,15 @@ func (t *Table) speedupNote(fast, slow string) (string, float64) {
 	if f == nil || s == nil {
 		return "", 0
 	}
-	best, bestX := 0.0, 0
+	best, bestX, found := 0.0, 0, false
 	for _, p := range f.Points {
 		if sv, ok := s.Y(p.X); ok && p.Y > 0 {
-			if r := sv / p.Y; r > best {
-				best, bestX = r, p.X
+			if r := sv / p.Y; !found || r > best {
+				best, bestX, found = r, p.X, true
 			}
 		}
 	}
-	if best == 0 {
+	if !found {
 		return "", 0
 	}
 	return fmt.Sprintf("%s up to %.2fx faster than %s (at %s)",

@@ -201,7 +201,7 @@ func (n *FlowNet) SetLinkCapacity(l *Link, capacity float64) {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("fabric: SetLinkCapacity(%q, %g)", l.name, capacity))
 	}
-	if capacity == l.capacity {
+	if capacity == l.capacity { //dpml:allow floateq -- no-op guard: any real change re-waterfills
 		return
 	}
 	l.capacity = capacity
@@ -315,7 +315,7 @@ func (n *FlowNet) reschedule(now sim.Time) {
 		// time is still exact (fluid drain is linear); skipping the
 		// reschedule avoids re-keying thousands of events when a
 		// recompute leaves most flows untouched.
-		if f.event != nil && f.rate == f.prevRate {
+		if f.event != nil && f.rate == f.prevRate { //dpml:allow floateq -- bit-identical rate keeps the scheduled completion exact
 			continue
 		}
 		d := sim.TransferTime(int64(math.Ceil(f.remaining)), f.rate)

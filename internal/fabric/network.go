@@ -121,7 +121,7 @@ func (ep *Endpoint) InjectDelay() sim.Duration {
 		start = h.nextFree
 	}
 	gap := ep.net.prof.MsgGap
-	if h.gapScale > 0 && h.gapScale != 1 {
+	if h.gapScale > 0 && h.gapScale != 1 { //dpml:allow floateq -- 1.0 is an exact sentinel, never computed
 		gap = sim.Duration(float64(gap) * h.gapScale)
 	}
 	h.nextFree = start.Add(gap)

@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloateqAnalyzer bans == and != on floating-point operands in non-test
+// code. The simulator's determinism argument permits exact float
+// comparison only in test oracles (where bit-identity is the point);
+// production code comparing floats exactly is either a latent epsilon
+// bug or an integer property in disguise — both deserve to be written
+// down. Deliberate exact comparisons carry a //dpml:allow floateq
+// justification.
+var FloateqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on floating-point operands outside test oracles",
+	Run:  runFloateq,
+}
+
+func runFloateq(p *Pass) {
+	info := p.Pkg.Info
+	p.inspect(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		xt, yt := info.TypeOf(be.X), info.TypeOf(be.Y)
+		if (xt != nil && isFloat(xt)) || (yt != nil && isFloat(yt)) {
+			p.Reportf(be.OpPos, "%s on floating-point operands; compare with a tolerance or restate as an integer property", be.Op)
+		}
+		return true
+	})
+}

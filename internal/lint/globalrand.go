@@ -1,0 +1,42 @@
+package lint
+
+import "go/ast"
+
+// GlobalrandAnalyzer enforces the seeded-randomness discipline from the
+// fault-injection subsystem: every random draw must flow from an
+// explicitly seeded source (rand.New(rand.NewSource(seed)), or the
+// faults package's salted splitmix64 streams), never from math/rand's
+// process-global generator, whose sequence depends on whatever else has
+// drawn from it — the death of reproducible fault plans.
+var GlobalrandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid math/rand global functions; randomness must come from an explicitly seeded source",
+	Run:  runGlobalrand,
+}
+
+// globalrandBanned are the top-level math/rand (and v2) functions backed
+// by the shared global source. Constructors (New, NewSource, NewZipf,
+// NewPCG, NewChaCha8) remain legal: they are how seeded sources are made.
+var globalrandBanned = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"UintN": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+func runGlobalrand(p *Pass) {
+	p.inspect(func(n ast.Node) bool {
+		sel, okSel := n.(*ast.SelectorExpr)
+		if !okSel {
+			return true
+		}
+		path, name, ok := pkgSelector(p.Pkg.Info, sel)
+		if ok && (path == "math/rand" || path == "math/rand/v2") && globalrandBanned[name] {
+			p.Reportf(n.Pos(), "rand.%s draws from the process-global source; use rand.New(rand.NewSource(seed)) or a faults stream", name)
+		}
+		return true
+	})
+}

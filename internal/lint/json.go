@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is the -json wire form of one finding. File paths are
+// module-root-relative, so output is stable across machines.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+}
+
+// WriteJSON renders findings as the driver's -json output: one object
+// with a "findings" array (empty array, not null, when clean), indented
+// and newline-terminated.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	rep := jsonReport{Findings: make([]jsonFinding, 0, len(findings))}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Analyzer: f.Analyzer, Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

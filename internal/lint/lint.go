@@ -1,0 +1,129 @@
+// Package lint is the repo's static-analysis framework: a small harness
+// over the standard library's go/ast and go/types (the module is
+// dependency-free, so no x/tools) plus six repo-specific analyzers that
+// prove the simulator's determinism and protocol invariants at compile
+// time. The dynamic counterparts of these invariants — byte-identical
+// results at any worker count, seeded fault plans, the span tiling
+// property — are only as strong as the last test run; the analyzers make
+// the underlying disciplines unskippable:
+//
+//   - walltime: virtual-time packages never read the host clock
+//   - globalrand: randomness flows from explicitly seeded sources only
+//   - maprange: map iteration order never reaches emitted output
+//   - spanpair: every trace span Begin is End-ed on all paths
+//   - waitcheck: every non-blocking MPI request is waited or discarded
+//   - floateq: no ==/!= on floating-point operands in non-test code
+//
+// Findings can be suppressed, one line at a time, with a
+// "//dpml:allow <analyzer> -- reason" comment; the driver verifies every
+// suppression is actually used, so stale allowances become findings
+// themselves.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Finding is one reported violation, printed as "file:line: analyzer:
+// message".
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in its canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		WalltimeAnalyzer,
+		GlobalrandAnalyzer,
+		MaprangeAnalyzer,
+		SpanpairAnalyzer,
+		WaitcheckAnalyzer,
+		FloateqAnalyzer,
+	}
+}
+
+// ByName resolves analyzer names to analyzers, erroring on unknown names.
+func ByName(names []string) ([]*Analyzer, error) {
+	all := Analyzers()
+	var out []*Analyzer
+	for _, n := range names {
+		found := false
+		for _, a := range all {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the packages, applies //dpml:allow
+// suppressions, appends findings for unused or malformed suppressions,
+// and returns everything sorted by position then analyzer name.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, analyzer: a, findings: &findings})
+		}
+	}
+	findings = applySuppressions(pkgs, analyzers, findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// inspect walks every file of the pass's package.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

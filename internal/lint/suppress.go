@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+)
+
+// suppressPrefix starts an inline allowance: a finding of the named
+// analyzer on the suppression's target line is dropped. A suppression
+// trailing code applies to its own line; one on a line of its own
+// applies to the next line. The " -- reason" is mandatory: an allowance
+// without a recorded justification is a finding in itself.
+const suppressPrefix = "//dpml:allow"
+
+type suppression struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int // target line findings must be on
+	pos      token.Position
+	used     bool
+}
+
+// applySuppressions drops findings covered by a used //dpml:allow
+// comment and appends findings for malformed, unknown, or unused
+// suppressions (analyzer name "suppress", so they are themselves
+// governed by the same reporting pipeline).
+func applySuppressions(pkgs []*Package, analyzers []*Analyzer, findings []Finding) []Finding {
+	known := map[string]bool{"suppress": true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	active := map[string]bool{}
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+
+	// out must not alias findings: suppress-findings are appended while
+	// the original slice is still being read below.
+	var sups []*suppression
+	out := make([]Finding, 0, len(findings))
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, suppressPrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, suppressPrefix)
+					if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+						continue // some other //dpml:allowXyz marker
+					}
+					// The analyzer name is the first token; the reason is
+					// whatever follows " -- ". Anything else after the name
+					// (including nothing) counts as a missing reason.
+					name, tail, _ := strings.Cut(strings.TrimSpace(rest), " ")
+					reason, okReason := strings.CutPrefix(strings.TrimSpace(tail), "-- ")
+					switch {
+					case name == "":
+						out = append(out, Finding{Analyzer: "suppress", Pos: pos,
+							Message: "malformed suppression: missing analyzer name"})
+						continue
+					case !known[name]:
+						out = append(out, Finding{Analyzer: "suppress", Pos: pos,
+							Message: "suppression names unknown analyzer " + strconvQuote(name)})
+						continue
+					case !okReason || strings.TrimSpace(reason) == "":
+						out = append(out, Finding{Analyzer: "suppress", Pos: pos,
+							Message: "suppression without a reason: write //dpml:allow " + name + " -- <why>"})
+						continue
+					}
+					if !active[name] {
+						continue // analyzer not in this run; leave it alone
+					}
+					sups = append(sups, &suppression{
+						analyzer: name, reason: strings.TrimSpace(reason),
+						file: pos.Filename, line: targetLine(pkg, pos), pos: pos,
+					})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		suppressed := false
+		for _, s := range sups {
+			if s.analyzer == f.Analyzer && s.file == f.Pos.Filename && s.line == f.Pos.Line {
+				s.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, s := range sups {
+		if !s.used {
+			out = append(out, Finding{Analyzer: "suppress", Pos: s.pos,
+				Message: "unused suppression: no " + s.analyzer + " finding on the allowed line"})
+		}
+	}
+	return out
+}
+
+// targetLine decides which line a suppression covers: its own line when
+// code precedes the comment, the next line otherwise.
+func targetLine(pkg *Package, pos token.Position) int {
+	src, ok := pkg.Src[pos.Filename]
+	if !ok {
+		return pos.Line
+	}
+	lineStart := 0
+	if pos.Offset <= len(src) {
+		if i := bytes.LastIndexByte(src[:pos.Offset], '\n'); i >= 0 {
+			lineStart = i + 1
+		}
+	}
+	if len(bytes.TrimSpace(src[lineStart:pos.Offset])) == 0 {
+		return pos.Line + 1
+	}
+	return pos.Line
+}
+
+func strconvQuote(s string) string { return `"` + s + `"` }

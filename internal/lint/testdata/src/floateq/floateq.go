@@ -1,0 +1,19 @@
+// Fixture for the floateq analyzer: exact float comparison is flagged,
+// ordered comparison and integer comparison are not.
+package floateq
+
+func eq(a, b float64) bool {
+	return a == b // want `== on floating-point operands`
+}
+
+func neq(a float32, b float64) bool {
+	return float64(a) != b // want `!= on floating-point operands`
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want `== on floating-point operands`
+}
+
+func ordered(a, b float64) bool { return a < b }
+
+func ints(a, b int) bool { return a == b }

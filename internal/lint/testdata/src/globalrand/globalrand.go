@@ -1,0 +1,17 @@
+// Fixture for the globalrand analyzer: global math/rand draws are
+// flagged, explicitly seeded sources are not.
+package globalrand
+
+import "math/rand"
+
+func global() (int, float64) {
+	n := rand.Intn(10)                 // want `rand\.Intn draws from the process-global source`
+	f := rand.Float64()                // want `rand\.Float64 draws from the process-global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	return n, f
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

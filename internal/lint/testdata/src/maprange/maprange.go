@@ -1,0 +1,59 @@
+// Fixture for the maprange analyzer: map iteration feeding an
+// order-sensitive sink (prints, Write* methods, the metrics registry,
+// returned slices) is flagged; the collect-sort-emit idiom and
+// order-insensitive aggregations are not.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dpml/internal/metrics"
+)
+
+func printed(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside map iteration emits in map order`
+	}
+}
+
+func written(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString inside map iteration writes in map order`
+	}
+	return b.String()
+}
+
+func registered(reg *metrics.Registry, m map[string]float64) {
+	for k, v := range m {
+		reg.Set(k, "count", v) // want `metrics\.Registry\.Set inside map iteration fixes registry order`
+	}
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to returned slice "out" inside map iteration leaks map order`
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

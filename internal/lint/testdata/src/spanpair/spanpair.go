@@ -1,0 +1,70 @@
+// Fixture for the spanpair analyzer: every Begin must be End-ed on all
+// paths, by a dominating End or a defer; escapes transfer ownership.
+package spanpair
+
+import (
+	"dpml/internal/sim"
+	"dpml/internal/trace"
+)
+
+func work() {}
+
+func deferred(t *trace.Recorder, now sim.Time) {
+	sp := t.BeginSpan(0, "reduce", now)
+	defer sp.End(now)
+	work()
+}
+
+func deferredClosure(t *trace.Recorder, now sim.Time) {
+	coll := t.BeginCollective(0, "allreduce", 1024, now)
+	defer func() { coll.End(now) }()
+	work()
+}
+
+func straightLine(t *trace.Recorder, now sim.Time) {
+	sp := t.BeginSpan(0, "reduce", now)
+	work()
+	sp.End(now)
+}
+
+func bothBranches(t *trace.Recorder, now sim.Time, ok bool) {
+	sp := t.BeginSpan(0, "reduce", now)
+	if ok {
+		sp.End(now)
+	} else {
+		sp.End(now)
+	}
+}
+
+func escapes(t *trace.Recorder, now sim.Time) *trace.Span {
+	sp := t.BeginSpan(0, "reduce", now)
+	return sp
+}
+
+func discarded(t *trace.Recorder, now sim.Time) {
+	t.BeginSpan(0, "reduce", now) // want `span discarded: the result of BeginSpan must be End-ed`
+}
+
+func blank(t *trace.Recorder, now sim.Time) {
+	_ = t.BeginCollective(0, "allreduce", 1024, now) // want `span assigned to _ is never End-ed`
+}
+
+func oneBranch(t *trace.Recorder, now sim.Time, ok bool) {
+	sp := t.BeginSpan(0, "reduce", now) // want `span "sp" from BeginSpan is not End-ed on every path`
+	if ok {
+		sp.End(now)
+	}
+}
+
+func reassigned(t *trace.Recorder, now sim.Time) {
+	sp := t.BeginSpan(0, "reduce", now) // want `span "sp" from BeginSpan is not End-ed on every path`
+	sp = t.BeginSpan(0, "gather", now)
+	sp.End(now)
+}
+
+func loopOnly(t *trace.Recorder, now sim.Time, n int) {
+	sp := t.BeginSpan(0, "reduce", now) // want `span "sp" from BeginSpan is not End-ed on every path`
+	for i := 0; i < n; i++ {
+		sp.End(now)
+	}
+}

@@ -1,0 +1,25 @@
+// Fixture for the suppression machinery: a used allowance silences its
+// finding, an unused one is itself a finding, and malformed or unknown
+// allowances are reported.
+package suppress
+
+func used(a, b float64) bool {
+	return a == b //dpml:allow floateq -- oracle: exactness is the point here
+}
+
+func ownLine(a float64) bool {
+	//dpml:allow floateq -- sentinel: zero is assigned, never computed
+	return a == 0
+}
+
+func unusedAllowance(a, b int) bool {
+	return a == b //dpml:allow floateq -- int compare needs no allowance // want `unused suppression: no floateq finding on the allowed line`
+}
+
+func unknownAnalyzer(a, b float64) bool {
+	return a < b //dpml:allow speling -- no such analyzer // want `suppression names unknown analyzer "speling"`
+}
+
+func missingReason(a, b float64) bool {
+	return a != b //dpml:allow floateq // want `suppression without a reason` `!= on floating-point operands`
+}

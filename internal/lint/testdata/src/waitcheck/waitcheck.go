@@ -1,0 +1,33 @@
+// Fixture for the waitcheck analyzer: a non-blocking request must be
+// waited on or explicitly discarded; silently dropping or overwriting
+// one is flagged.
+package waitcheck
+
+import "dpml/internal/mpi"
+
+func dropped(r *mpi.Rank, c *mpi.Comm, v *mpi.Vector) {
+	r.Isend(c, 1, 0, v) // want `request dropped: Wait it, or assign to _ to discard explicitly`
+}
+
+func discarded(r *mpi.Rank, c *mpi.Comm, v *mpi.Vector) {
+	_ = r.Isend(c, 1, 0, v)
+}
+
+func waited(r *mpi.Rank, c *mpi.Comm, v *mpi.Vector) {
+	req := r.Irecv(c, 1, 0, v)
+	r.Wait(req)
+}
+
+func overwritten(r *mpi.Rank, c *mpi.Comm, v *mpi.Vector) {
+	req := r.Irecv(c, 1, 0, v) // want `request assigned to "req" is never waited on`
+	req = r.Irecv(c, 2, 0, v)
+	r.Wait(req)
+}
+
+func collected(r *mpi.Rank, c *mpi.Comm, v *mpi.Vector) {
+	var reqs []*mpi.Request
+	for dst := 1; dst < 4; dst++ {
+		reqs = append(reqs, r.Isend(c, dst, 0, v))
+	}
+	r.WaitAll(reqs...)
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// WaitcheckAnalyzer is errcheck-lite over non-blocking MPI requests: a
+// *mpi.Request returned by Isend/Irecv (or anything else producing one)
+// must be waited on or explicitly discarded with _. A silently dropped
+// request is the MUST-style request-lifecycle bug — the operation's
+// completion is unobservable, buffer reuse races become possible, and on
+// the simulator the rank can deadlock with no wait reason for the
+// watchdog to name.
+var WaitcheckAnalyzer = &Analyzer{
+	Name: "waitcheck",
+	Doc:  "every non-blocking *mpi.Request must be waited on or explicitly discarded with _",
+	Run:  runWaitcheck,
+}
+
+// returnsRequest reports whether the call's (single) result is
+// *dpml/internal/mpi.Request.
+func returnsRequest(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "dpml/internal/mpi"
+}
+
+func runWaitcheck(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					waitcheckBody(p, fn.Body)
+				}
+			case *ast.FuncLit:
+				waitcheckBody(p, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+func waitcheckBody(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	writes := writeIdents(info, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && returnsRequest(info, call) {
+				p.Reportf(call.Pos(), "request dropped: Wait it, or assign to _ to discard explicitly")
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				break
+			}
+			for i, rhs := range s.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !returnsRequest(info, call) {
+					continue
+				}
+				id, okID := s.Lhs[i].(*ast.Ident)
+				if !okID || id.Name == "_" {
+					continue // stored elsewhere, or explicitly discarded
+				}
+				obj := objOf(info, id)
+				if obj == nil {
+					continue
+				}
+				if !requestRead(info, body, s, obj, writes) {
+					p.Reportf(call.Pos(), "request assigned to %q is never waited on before being overwritten or going out of scope", id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// writeIdents collects identifiers appearing as plain-assignment targets
+// — the positions where a variable is overwritten rather than read.
+func writeIdents(info *types.Info, body *ast.BlockStmt) map[*ast.Ident]bool {
+	out := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, okID := lhs.(*ast.Ident); okID {
+					out[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// requestRead reports whether obj's first mention after the producing
+// assignment is a read (Wait call, append, comparison, ...) rather than
+// an overwrite or nothing at all. Position order approximates control
+// flow; the repo's request lifecycles are straight-line, and anything
+// cleverer should hold the requests in a slice.
+func requestRead(info *types.Info, body *ast.BlockStmt, assign *ast.AssignStmt, obj types.Object, writes map[*ast.Ident]bool) bool {
+	var mentions []*ast.Ident
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Pos() > assign.End() && objOf(info, id) == obj {
+			mentions = append(mentions, id)
+		}
+		return true
+	})
+	if len(mentions) == 0 {
+		return false
+	}
+	sort.Slice(mentions, func(i, j int) bool { return mentions[i].Pos() < mentions[j].Pos() })
+	first := mentions[0]
+	return !writes[first]
+}

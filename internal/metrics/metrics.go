@@ -95,7 +95,7 @@ func (r *Registry) WriteText(w io.Writer) {
 }
 
 func formatValue(v float64) string {
-	if v == float64(int64(v)) {
+	if v == float64(int64(v)) { //dpml:allow floateq -- exact integer-representability test, tolerance would be wrong
 		return fmt.Sprintf("%d", int64(v))
 	}
 	s := fmt.Sprintf("%.4f", v)

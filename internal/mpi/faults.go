@@ -84,7 +84,7 @@ func (w *World) stretch(rank int, d sim.Duration) sim.Duration {
 			f = win.factor
 		}
 	}
-	if f == 1 {
+	if f == 1 { //dpml:allow floateq -- 1.0 is an exact sentinel, never computed
 		return d
 	}
 	return sim.Duration(float64(d) * f)

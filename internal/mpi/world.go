@@ -65,7 +65,7 @@ type World struct {
 	ranks     []*Rank
 	world     *Comm
 	nextCID   int
-	rng       uint64      // jitter stream state
+	rng       uint64       // jitter stream state
 	strag     [][]stragWin // per-rank straggler windows; nil without straggler faults
 	commCache map[string]*Comm
 	vecPool   map[vecShape][]*Vector // free list for in-flight payload clones (see pool.go)
