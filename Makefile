@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint ci perfcheck faultsmoke fuzz cover bench results perf
+.PHONY: all build test race vet lint ci perfcheck racecheck faultsmoke fuzz cover bench results perf
 
 all: build
 
@@ -25,14 +25,22 @@ race:
 # ci is the gate: the invariant analyzers and go vet, the full test suite under the race
 # detector (the sweep pool runs simulations on multiple goroutines, so
 # -race exercises the parallel paths, not just the serial ones), the
-# simulator-throughput check (the quick perf suite must stay within 30%
-# of the committed BENCH_sim.json on the 64-rank scenarios), the
-# fault-matrix smoke pass, a short fuzz pass over the text parsers, and
-# the coverage summary.
-ci: lint vet race perfcheck faultsmoke fuzz cover
+# sharded-kernel race pass, the simulator-throughput check (the quick
+# perf suite must stay within 30% of the committed BENCH_sim.json on the
+# 64-rank scenarios), the fault-matrix smoke pass, a short fuzz pass over
+# the text parsers, and the coverage summary.
+ci: lint vet race racecheck perfcheck faultsmoke fuzz cover
 
 perfcheck:
 	$(GO) run ./cmd/dpml-bench -perf -quick -baseline BENCH_sim.json -o /dev/null
+
+# racecheck reruns the kernel and MPI test packages under the race
+# detector with the event kernel split across four shards. Plain `race`
+# covers host-side parallelism (the sweep pool); this covers sim-side
+# parallelism — window barriers, cross-shard outboxes, the net kernel —
+# where a missing happens-before edge would corrupt virtual time itself.
+racecheck:
+	DPML_SHARDS=4 $(GO) test -race -count=1 ./internal/sim/ ./internal/mpi/
 
 # faultsmoke runs the fault-injection and watchdog tests twice (-count=2):
 # every fault class against a design (bench fault matrix), graceful SHArP

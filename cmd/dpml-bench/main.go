@@ -18,6 +18,7 @@ import (
 
 	"dpml/internal/bench"
 	"dpml/internal/faults"
+	"dpml/internal/mpi"
 	"dpml/internal/sim"
 	"dpml/internal/sweep"
 )
@@ -39,8 +40,12 @@ func main() {
 		faultSpec = flag.String("faults", "", "inject a seeded fault plan into allreduce-latency figures: comma-separated classes with optional @intensity, e.g. 'straggler@0.25,link' or 'all@0.8' (empty = healthy fabric); also selects the classes the 'faults' figure sweeps")
 		faultSeed = flag.Uint64("fault-seed", 0, "seed for fault-plan instantiation; different seeds fault different ranks, links, and windows")
 		watchdog  = flag.Duration("watchdog", 0, "virtual-time deadline per simulated job (e.g. 500ms); a job not finished by then aborts with a diagnostic naming the blocked ranks (0 = off)")
+		shards    = flag.Int("shards", 0, "kernel shards per simulated job (parallelize one run across threads; 0 = DPML_SHARDS env or 1); output is bit-identical for every value")
 	)
 	flag.Parse()
+	if *shards > 0 {
+		mpi.SetDefaultShards(*shards)
+	}
 
 	spec, err := faults.ParseSpec(*faultSpec)
 	if err != nil {

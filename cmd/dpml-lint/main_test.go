@@ -64,6 +64,32 @@ func TestCleanExitZero(t *testing.T) {
 	}
 }
 
+// TestShardCoordinatorWalltimeGlobalrandClean pins the sharded kernel's
+// determinism preconditions. The window-barrier coordinator runs real
+// goroutines, which makes host-time barrier timeouts and jittered
+// backoff the tempting bugs: either would leak wall-clock or global-RNG
+// state into the event order and silently break bit-identity across
+// -shards. The whole virtual-time path must stay clean under walltime
+// and globalrand with zero suppressions — a legitimate new exemption
+// belongs in the analyzers' exempt lists with a written rationale, not
+// in an inline //dpml:allow.
+func TestShardCoordinatorWalltimeGlobalrandClean(t *testing.T) {
+	pkgs := []string{
+		"dpml/internal/sim",
+		"dpml/internal/fabric",
+		"dpml/internal/mpi",
+		"dpml/internal/core",
+	}
+	var out, errb bytes.Buffer
+	code := run(append([]string{"-run", "walltime,globalrand"}, pkgs...), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; findings:\n%s%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("virtual-time path has walltime/globalrand findings:\n%s", out.String())
+	}
+}
+
 func TestListAnalyzers(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {

@@ -44,8 +44,12 @@ func main() {
 		faultSpec   = flag.String("faults", "", "inject a seeded fault plan: comma-separated classes with optional @intensity, e.g. 'straggler@0.25,link' or 'all@0.8' (empty = healthy fabric)")
 		faultSeed   = flag.Uint64("fault-seed", 0, "seed for fault-plan instantiation")
 		watchdog    = flag.Duration("watchdog", 0, "virtual-time deadline per simulated job; a job not finished by then aborts with a diagnostic naming the blocked ranks (0 = off)")
+		shards      = flag.Int("shards", 0, "kernel shards per simulated job (parallelize one run across threads; 0 = DPML_SHARDS env or 1); output is bit-identical for every value")
 	)
 	flag.Parse()
+	if *shards > 0 {
+		mpi.SetDefaultShards(*shards)
+	}
 
 	stopProf, err := bench.StartProfiles(*cpuProf, *memProf)
 	if err != nil {

@@ -41,6 +41,7 @@ func main() {
 		phases      = flag.Bool("phases", false, "print the per-phase time breakdown")
 		critpath    = flag.Bool("critpath", false, "print the critical path and per-phase slack")
 		metricsFlag = flag.Bool("metrics", false, "print the metrics-registry snapshot")
+		shards      = flag.Int("shards", 0, "kernel shards (parallelize the run across threads; 0 = DPML_SHARDS env or 1); trace output is bit-identical for every value")
 	)
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func main() {
 		fatal(err)
 	}
 	rec := trace.New(*limit)
-	w := mpi.NewWorld(job, mpi.Config{Trace: rec})
+	w := mpi.NewWorld(job, mpi.Config{Trace: rec, Shards: *shards})
 	e := core.NewEngine(w)
 
 	var choose bench.SpecChooser
@@ -86,10 +87,10 @@ func main() {
 
 	fmt.Printf("workload: %d x allreduce(%d bytes) with %s on %s, %d nodes x %d ppn\n",
 		*iters, count*4, spec, cl.Name, *nodes, *ppn)
-	fmt.Printf("virtual time: %v\n", w.Kernel.Now())
+	fmt.Printf("virtual time: %v\n", w.Now())
 	rec.Summary(os.Stdout)
 	// Fabric utilization over the run.
-	elapsed := w.Kernel.Now().Sub(0)
+	elapsed := w.Now().Sub(0)
 	var busiest string
 	var peak float64
 	for _, lr := range w.Net.Report() {

@@ -76,3 +76,75 @@ func TestCrossDesignDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestShardDeterminismMatrix is the sharded-kernel analogue: the same
+// scenario must digest identically for every combination of kernel shard
+// count, GOMAXPROCS, and sweep -j worker count. Shards partition the
+// event heap itself (intra-run parallelism), -j replicates whole worlds
+// (inter-run parallelism) — the two must compose without either leaking
+// host scheduling into virtual time. Jitter and the rendezvous path are
+// both enabled so the per-rank noise streams and the cross-shard
+// RTS/CTS/payload handoff are exercised, not just eager traffic.
+func TestShardDeterminismMatrix(t *testing.T) {
+	designs := []struct {
+		name string
+		spec core.Spec
+	}{
+		{"flat-rd", core.Flat(mpi.AlgRecursiveDoubling)},
+		{"dpml-4", core.DPML(4)},
+		{"sharp-node", core.Spec{Design: core.DesignSharpNode}},
+	}
+	sizes := []int{8, 4 << 10, 1 << 20} // 1 MB forces rendezvous transfers
+
+	digestRun := func(shards, gomaxprocs, workers int) []string {
+		old := runtime.GOMAXPROCS(gomaxprocs)
+		defer runtime.GOMAXPROCS(old)
+		cfg := mpi.Config{
+			Shards:     shards,
+			Jitter:     200, // ns of per-message noise, exercising the rank streams
+			JitterSeed: 42,
+		}
+		jobs := make([]sweep.Job[[]sim.Duration], len(designs))
+		for i := range designs {
+			spec := designs[i].spec
+			jobs[i] = func() ([]sim.Duration, error) {
+				// Cluster A: the SHArP-capable fabric, so the sharp-node
+				// design (whose completion wakeups cross shards) runs too.
+				return AllreduceLatencyCfg(cfg, topology.ClusterA(), 8, 8, FixedSpec(spec), sizes, 2, 1)
+			}
+		}
+		results, err := sweep.Run(workers, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests := make([]string, len(results))
+		for i, lats := range results {
+			h := sha256.New()
+			for _, d := range lats {
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], uint64(d))
+				h.Write(b[:])
+			}
+			digests[i] = fmt.Sprintf("%x", h.Sum(nil))
+		}
+		return digests
+	}
+
+	configs := []struct{ shards, gomaxprocs, workers int }{
+		{1, 1, 1}, // serial kernel, serial host: the reference
+		{2, 1, 2},
+		{2, 4, 1},
+		{4, 2, 2},
+		{8, 4, 3}, // more shards than nodes/2: clamping path
+	}
+	base := digestRun(configs[0].shards, configs[0].gomaxprocs, configs[0].workers)
+	for _, cfg := range configs[1:] {
+		got := digestRun(cfg.shards, cfg.gomaxprocs, cfg.workers)
+		for i, d := range designs {
+			if got[i] != base[i] {
+				t.Errorf("%s: digest at shards=%d GOMAXPROCS=%d -j%d differs from serial reference: %s vs %s",
+					d.name, cfg.shards, cfg.gomaxprocs, cfg.workers, got[i], base[i])
+			}
+		}
+	}
+}

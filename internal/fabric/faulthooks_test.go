@@ -44,10 +44,8 @@ func TestSetLinkCapacityRestore(t *testing.T) {
 // TestSetInjectScaleThrottlesGap: a throttled HCA reserves scaled
 // injection slots; restoring scale 1 returns to the nominal gap.
 func TestSetInjectScaleThrottlesGap(t *testing.T) {
-	k := sim.NewKernel()
-	flows := NewFlowNet(k)
 	c := topology.ClusterB()
-	net := NewNetwork(k, flows, c, 2)
+	k, _, net := newTestNet(c, 2)
 	ep := net.Endpoint(0, 0)
 	gap := c.Net.MsgGap
 	k.Spawn("sender", func(p *sim.Proc) {

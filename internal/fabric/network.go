@@ -34,13 +34,14 @@ type hca struct {
 // *different* processes profitable (Figure 1) while extra in-flight
 // messages from one process are not.
 type Network struct {
-	k     *sim.Kernel
+	coord *sim.Coordinator
+	k     *sim.Kernel // the network LP's kernel: owns links, flows, Stats
 	flows *FlowNet
 	prof  topology.NetProfile
 	nodes [][]*hca // [node][hca]
 	core  *Link    // nil when the core is not a modelled bottleneck
 
-	// Stats counts message-level activity.
+	// Stats counts message-level activity. Owned by the network LP.
 	Stats struct {
 		Messages uint64
 		Bytes    uint64
@@ -52,6 +53,7 @@ type Network struct {
 // receiving each have their own per-process processing rate.
 type Endpoint struct {
 	net  *Network
+	k    *sim.Kernel // the owning node's kernel
 	node int
 	hca  int
 	tx   *Link
@@ -66,12 +68,13 @@ func (ep *Endpoint) Node() int { return ep.node }
 const unlimited = 1e18
 
 // NewNetwork builds the interconnect for nodes compute nodes of the given
-// cluster, sharing the provided flow scheduler.
-func NewNetwork(k *sim.Kernel, flows *FlowNet, c *topology.Cluster, nodes int) *Network {
+// cluster. Link and flow state belongs to the coordinator's network LP;
+// flows must be a FlowNet bound to the network LP's kernel.
+func NewNetwork(coord *sim.Coordinator, flows *FlowNet, c *topology.Cluster, nodes int) *Network {
 	if nodes <= 0 || nodes > c.Nodes {
 		panic(fmt.Sprintf("fabric: NewNetwork with %d nodes on %s", nodes, c.Name))
 	}
-	n := &Network{k: k, flows: flows, prof: c.Net}
+	n := &Network{coord: coord, k: coord.NetKernel(), flows: flows, prof: c.Net}
 	n.nodes = make([][]*hca, nodes)
 	for i := range n.nodes {
 		hcas := make([]*hca, c.HCAs)
@@ -102,6 +105,7 @@ func (n *Network) Endpoint(node, hcaIdx int) *Endpoint {
 	n.hcaAt(node, hcaIdx) // validate
 	return &Endpoint{
 		net:  n,
+		k:    n.coord.KernelFor(node),
 		node: node,
 		hca:  hcaIdx,
 		tx:   NewLink(fmt.Sprintf("n%d.h%d.tx", node, hcaIdx), n.prof.PerFlowCap),
@@ -109,13 +113,17 @@ func (n *Network) Endpoint(node, hcaIdx int) *Endpoint {
 	}
 }
 
+// Kernel returns the kernel owning the endpoint's node.
+func (ep *Endpoint) Kernel() *sim.Kernel { return ep.k }
+
 // InjectDelay reserves the next injection slot on the endpoint's HCA and
 // returns how long the caller must wait before the message enters the
 // wire. It advances the injector clock, so callers must sleep the
-// returned duration (the MPI layer does).
+// returned duration (the MPI layer does). The HCA's injector state is
+// node-local: it must only be touched from its own node's context.
 func (ep *Endpoint) InjectDelay() sim.Duration {
 	h := ep.net.hcaAt(ep.node, ep.hca)
-	now := ep.net.k.Now()
+	now := ep.k.Now()
 	start := now
 	if h.nextFree > start {
 		start = h.nextFree
@@ -154,13 +162,32 @@ func (n *Network) SetInjectScale(node, hcaIdx int, scale float64) {
 // StartTransfer launches the wire part of one message between two
 // endpoints on different nodes. The flow traverses the sender's pipe, the
 // sender's uplink, the (optional) core stage, the receiver's downlink,
-// and the receiver's pipe; onArrive fires in kernel context when the last
-// byte has crossed the wire latency. The caller is responsible for
-// charging CPU overheads and injection delay first.
+// and the receiver's pipe; onArrive fires in the destination node's
+// context when the last byte has crossed the wire latency. The caller
+// (in the source node's context) is responsible for charging CPU
+// overheads and injection delay first.
 func (n *Network) StartTransfer(src, dst *Endpoint, bytes int64, onArrive func()) {
+	n.StartTransferNotify(src, dst, bytes, onArrive, nil)
+}
+
+// StartTransferNotify is StartTransfer with an additional sender-side
+// completion: onSent, when non-nil, fires in the source node's context at
+// the same instant onArrive fires at the destination (rendezvous sends
+// complete the sender's request then). The two callbacks run on
+// different nodes, so they must not share unsynchronized state.
+func (n *Network) StartTransferNotify(src, dst *Endpoint, bytes int64, onArrive, onSent func()) {
 	if src.node == dst.node {
 		panic("fabric: StartTransfer within a node; use MemChannel")
 	}
+	// The flow's links and the message counters are network-LP state;
+	// hop into it with a zero-delay injection (the network phase of each
+	// time window runs after every node's, so the flow still starts at
+	// the current instant).
+	src.k.AfterNet(0, func() { n.launch(src, dst, bytes, onArrive, onSent) })
+}
+
+// launch starts the flow. Runs in network-LP context.
+func (n *Network) launch(src, dst *Endpoint, bytes int64, onArrive, onSent func()) {
 	su := n.hcaAt(src.node, src.hca)
 	dd := n.hcaAt(dst.node, dst.hca)
 	n.Stats.Messages++
@@ -168,7 +195,12 @@ func (n *Network) StartTransfer(src, dst *Endpoint, bytes int64, onArrive func()
 		n.Stats.Bytes += uint64(bytes)
 	}
 	wire := n.prof.WireLatency
-	done := func() { n.k.After(wire, onArrive) }
+	done := func() {
+		n.k.AfterOn(dst.node, wire, onArrive)
+		if onSent != nil {
+			n.k.AfterOn(src.node, wire, onSent)
+		}
+	}
 	if n.core != nil {
 		n.flows.Start(bytes, unlimited, done, src.tx, su.up, n.core, dd.down, dst.rx)
 		return

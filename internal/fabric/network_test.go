@@ -8,11 +8,19 @@ import (
 	"dpml/internal/topology"
 )
 
-func TestNetworkTransferBasics(t *testing.T) {
-	k := sim.NewKernel()
+// newTestNet builds a single-shard coordinator, its network-LP flow
+// scheduler, and a network for nodes compute nodes of c. The returned
+// kernel owns every LP, so tests can Spawn and Run on it directly.
+func newTestNet(c *topology.Cluster, nodes int) (*sim.Kernel, *FlowNet, *Network) {
+	coord := sim.NewCoordinator(nodes, 1, c.Net.WireLatency)
+	k := coord.NetKernel()
 	fn := NewFlowNet(k)
+	return k, fn, NewNetwork(coord, fn, c, nodes)
+}
+
+func TestNetworkTransferBasics(t *testing.T) {
 	c := topology.ClusterB()
-	net := NewNetwork(k, fn, c, 2)
+	k, _, net := newTestNet(c, 2)
 	var arrived sim.Time
 	src, dst := net.Endpoint(0, 0), net.Endpoint(1, 0)
 	k.Spawn("sender", func(p *sim.Proc) {
@@ -38,9 +46,7 @@ func TestNetworkConcurrencyScalesOnIB(t *testing.T) {
 	// link) bind.
 	c := topology.ClusterB()
 	elapsed := func(pairs int) sim.Duration {
-		k := sim.NewKernel()
-		fn := NewFlowNet(k)
-		net := NewNetwork(k, fn, c, 2)
+		k, _, net := newTestNet(c, 2)
 		k.Spawn("driver", func(p *sim.Proc) {
 			var wg sim.WaitGroup
 			wg.Add(pairs)
@@ -67,9 +73,7 @@ func TestNetworkConcurrencyFlatOnOmniPathLarge(t *testing.T) {
 	// the link, so 8 concurrent 1 MB transfers take ~8x one transfer.
 	c := topology.ClusterC()
 	elapsed := func(pairs int) sim.Duration {
-		k := sim.NewKernel()
-		fn := NewFlowNet(k)
-		net := NewNetwork(k, fn, c, 2)
+		k, _, net := newTestNet(c, 2)
 		k.Spawn("driver", func(p *sim.Proc) {
 			var wg sim.WaitGroup
 			wg.Add(pairs)
@@ -91,10 +95,8 @@ func TestNetworkConcurrencyFlatOnOmniPathLarge(t *testing.T) {
 }
 
 func TestInjectDelayEnforcesMessageGap(t *testing.T) {
-	k := sim.NewKernel()
-	fn := NewFlowNet(k)
 	c := topology.ClusterC()
-	net := NewNetwork(k, fn, c, 2)
+	k, _, net := newTestNet(c, 2)
 	ep0 := net.Endpoint(0, 0)
 	ep0b := net.Endpoint(0, 0) // second process on the same HCA
 	ep1 := net.Endpoint(1, 0)
@@ -131,9 +133,7 @@ func TestOversubscribedCoreBottleneck(t *testing.T) {
 	// full-rate traffic, the aggregate must be limited by core capacity.
 	c := topology.ClusterD()
 	const nodes = 8
-	k := sim.NewKernel()
-	fn := NewFlowNet(k)
-	net := NewNetwork(k, fn, c, nodes)
+	k, _, net := newTestNet(c, nodes)
 	if net.core == nil {
 		t.Fatal("cluster D network must model an oversubscribed core")
 	}
@@ -162,9 +162,7 @@ func TestOversubscribedCoreBottleneck(t *testing.T) {
 }
 
 func TestNetworkPanicsOnBadEndpoints(t *testing.T) {
-	k := sim.NewKernel()
-	fn := NewFlowNet(k)
-	net := NewNetwork(k, fn, topology.ClusterB(), 2)
+	_, _, net := newTestNet(topology.ClusterB(), 2)
 	cases := []func(){
 		func() { net.StartTransfer(net.Endpoint(0, 0), net.Endpoint(0, 0), 10, func() {}) }, // same node
 		func() { net.Endpoint(5, 0) }, // bad node
@@ -411,10 +409,8 @@ func TestSharpSmallBeatsLargeScaling(t *testing.T) {
 }
 
 func TestNetworkReport(t *testing.T) {
-	k := sim.NewKernel()
-	fn := NewFlowNet(k)
 	c := topology.ClusterB()
-	net := NewNetwork(k, fn, c, 2)
+	k, _, net := newTestNet(c, 2)
 	src, dst := net.Endpoint(0, 0), net.Endpoint(1, 0)
 	k.Spawn("driver", func(p *sim.Proc) {
 		var done sim.Signal
@@ -441,7 +437,7 @@ func TestNetworkReport(t *testing.T) {
 		t.Fatalf("up %d / down %d bytes, want 1MiB each", upBytes, downBytes)
 	}
 	// Cluster D has a core stage.
-	netD := NewNetwork(sim.NewKernel(), NewFlowNet(sim.NewKernel()), topology.ClusterD(), 2)
+	_, _, netD := newTestNet(topology.ClusterD(), 2)
 	if got := len(netD.Report()); got != 5 {
 		t.Fatalf("cluster D report has %d links, want 5 (incl. core)", got)
 	}

@@ -29,26 +29,35 @@ var (
 // aggregation groups and, per group, a bounded number of outstanding
 // operations (the paper: "SHArP can support only a small number of
 // concurrent operations and SHArP communicators").
+//
+// The switch tree is fabric state, so the whole model runs as the
+// network LP: callers inject their arrival into the network domain, the
+// last arrival launches (or queues) the operation, and completion wakes
+// every caller through per-node events that pay at least the tree's
+// first-hop latency — which is what makes the model safe under a sharded
+// kernel without any shard observing another.
 type Sharp struct {
-	k      *sim.Kernel
+	k      *sim.Kernel // the network LP's kernel
 	prof   topology.SharpProfile
 	link   float64 // leaf injection rate, bytes/sec
 	groups int
-	ost    *sim.Semaphore // fabric-wide outstanding-operation slots
-	failed bool           // offload outage in force (see SetFailed)
+	slots  int        // free outstanding-operation slots (fabric-wide)
+	waitq  []*sharpOp // operations waiting for a slot, FIFO
+	failed bool       // offload outage in force (see SetFailed)
 }
 
 // NewSharp builds the SHArP model for a cluster, or returns
-// ErrSharpUnavailable when the fabric has none.
+// ErrSharpUnavailable when the fabric has none. k must be the network
+// LP's kernel.
 func NewSharp(k *sim.Kernel, c *topology.Cluster) (*Sharp, error) {
 	if !c.Sharp.Available {
 		return nil, ErrSharpUnavailable
 	}
 	return &Sharp{
-		k:    k,
-		prof: c.Sharp,
-		link: c.Net.LinkBandwidth,
-		ost:  sim.NewSemaphore("sharp-ost", c.Sharp.MaxOutstanding),
+		k:     k,
+		prof:  c.Sharp,
+		link:  c.Net.LinkBandwidth,
+		slots: c.Sharp.MaxOutstanding,
 	}, nil
 }
 
@@ -57,10 +66,16 @@ func (s *Sharp) Profile() topology.SharpProfile { return s.prof }
 
 // SetFailed marks the offload unavailable (true) or restores it (false).
 // While failed, every operation that would *start* — decided when its
-// last caller arrives — fails with ErrSharpOffline for all callers of
-// that operation; operations already in the switch tree complete, as they
-// would under a real completion-timeout failure model. The fault layer
-// toggles this at outage-window boundaries.
+// last caller's arrival reaches the tree — fails with ErrSharpOffline for
+// all callers of that operation; operations already in the switch tree
+// complete, as they would under a real completion-timeout failure model.
+// The fault layer toggles this from network-LP events at outage-window
+// boundaries. Runtime callers outside the network LP (a rank reacting to
+// a fallback) may also toggle it, but only between their own operations:
+// the flag is a plain field whose cross-shard visibility is ordered by
+// the window barriers, so a toggle concurrent with an unrelated
+// operation's launch would be a determinism bug in the workload, not in
+// the model.
 func (s *Sharp) SetFailed(v bool) { s.failed = v }
 
 // Failed reports whether the offload is currently marked unavailable.
@@ -95,12 +110,29 @@ func (s *Sharp) OpLatency(nodes int, bytes int) sim.Duration {
 	return d
 }
 
+// WakeLatency returns the smallest delay after which the model ever
+// notifies a caller's node: the tree overhead plus one round trip to the
+// nearest switch (the NACK path; completed operations take at least
+// OpLatency, which is larger). The sharded kernel's lookahead must not
+// exceed it.
+func (s *Sharp) WakeLatency() sim.Duration {
+	return s.prof.OpOverhead + 2*s.prof.HopLatency
+}
+
+// nackLatency is the delay before a caller learns its operation was
+// refused (offload offline, or leaves disagreeing on the payload): one
+// control round trip through the edge of the tree. Bounded below by the
+// kernel's lookahead by construction (see WakeLatency).
+func (s *Sharp) nackLatency() sim.Duration {
+	return s.WakeLatency()
+}
+
 // NewGroup allocates a SHArP communicator spanning the given compute
 // nodes with leadersPerNode calling leaders on each (node-leader designs
 // use 1, socket-leader designs one per socket), or returns ErrSharpGroups
 // when the fabric-wide group budget is exhausted. The aggregation tree's
 // depth is set by the node count — co-located leaders attach to the same
-// leaf switch. Groups are never freed in our experiments (matching how
+// leaf switch. Groups are allocated before the run starts (matching how
 // MPI communicators hold them for the job lifetime); Release exists for
 // completeness.
 func (s *Sharp) NewGroup(nodes, leadersPerNode int) (*SharpGroup, error) {
@@ -118,29 +150,39 @@ func (s *Sharp) NewGroup(nodes, leadersPerNode int) (*SharpGroup, error) {
 func (s *Sharp) Groups() int { return s.groups }
 
 // SharpGroup is one SHArP communicator: the set of leaf nodes plus the
-// operation-slot semaphore bounding concurrency.
+// arrival-collection state for the operation currently forming.
 type SharpGroup struct {
 	sharp   *Sharp
 	nodes   int
 	members int
-	cur     *sharpOp // operation currently collecting arrivals
+	cur     *sharpOp // operation currently collecting arrivals (network LP)
 
-	// Stats counts operations through this group.
+	// Stats counts operations through this group. Owned by the network
+	// LP (incremented at launch).
 	Stats struct {
 		Ops uint64
 	}
 }
 
-// sharpOp is one collective operation's state. It is separate from the
-// group so that a subsequent operation can begin collecting arrivals
-// while earlier waiters are still being rescheduled.
+// sharpCall is one caller's side of one operation: where to deliver the
+// verdict and the parked proc's wakeup.
+type sharpCall struct {
+	lp     int // caller's node LP
+	result any
+	err    error
+	done   sim.Signal
+}
+
+// sharpOp is one collective operation's state, owned by the network LP.
+// Arrivals fold contributions in arrival-event order — a canonical order
+// (virtual time, then arriving node, then creation sequence), so the
+// floating-point fold is identical for every shard count.
 type sharpOp struct {
+	group   *SharpGroup
 	bytes   int
 	arrived int
 	acc     any
-	result  any
-	err     error // set by the last arriver; seen by every caller
-	waiters sim.Signal
+	calls   []*sharpCall
 }
 
 // Nodes returns the number of leaf nodes in the group.
@@ -160,59 +202,111 @@ func (g *SharpGroup) Release() {
 // calling proc (one leader per leaf) must call it; all callers return at
 // the operation's completion time with the reduced result. The operation
 // occupies one outstanding-operation slot from when the last caller
-// arrives until completion, so concurrent operations beyond MaxOutstanding
-// serialize — this is the scalability ceiling that rules out
-// per-DPML-leader SHArP (Section 4.3).
+// arrives until completion, so concurrent operations beyond
+// MaxOutstanding serialize — this is the scalability ceiling that rules
+// out per-DPML-leader SHArP (Section 4.3).
 //
-// contrib is this leaf's payload; reduce folds two payloads (the switch's
-// arithmetic). Both may be nil for timing-only (phantom) runs, in which
-// case the returned result is nil. Because the reduction happens in the
-// switches, no host compute time is charged.
+// contrib is this leaf's payload; reduce folds two payloads (the
+// switch's arithmetic, applied in the network, so no host compute time
+// is charged). Both may be nil for timing-only (phantom) runs, in which
+// case the returned result is nil. The contribution buffer must not be
+// touched while the call is blocked: the fold reads it in network
+// context.
 func (g *SharpGroup) Allreduce(p *sim.Proc, bytes int, contrib any, reduce func(acc, x any) any) (any, error) {
 	if bytes > g.sharp.prof.MaxPayload {
 		return nil, ErrSharpPayload
 	}
+	call := &sharpCall{lp: p.LP()}
+	p.Kernel().AfterNet(0, func() { g.arrive(call, bytes, contrib, reduce) })
+	call.done.Wait(p, "sharp allreduce")
+	return call.result, call.err
+}
+
+// arrive folds one caller's contribution into the forming operation and,
+// on the last arrival, launches it (or refuses it while the offload is
+// failed). Runs in network-LP context.
+func (g *SharpGroup) arrive(call *sharpCall, bytes int, contrib any, reduce func(acc, x any) any) {
+	s := g.sharp
 	if g.cur == nil {
-		g.cur = &sharpOp{bytes: bytes, acc: contrib}
-	} else {
-		op := g.cur
-		if bytes != op.bytes {
-			return nil, fmt.Errorf("fabric: SHArP leaves disagree on payload (%d vs %d bytes)", bytes, op.bytes)
-		}
-		if reduce != nil && contrib != nil {
-			if op.acc == nil {
-				op.acc = contrib
-			} else {
-				op.acc = reduce(op.acc, contrib)
-			}
-		}
+		g.cur = &sharpOp{group: g, bytes: bytes}
 	}
 	op := g.cur
+	if bytes != op.bytes {
+		// Leaves disagree on the payload: refuse this caller (the
+		// operation keeps waiting for a conforming arrival — a
+		// programming error surfaced exactly as a real tree would, with
+		// a NACK after the control round trip).
+		call.err = fmt.Errorf("fabric: SHArP leaves disagree on payload (%d vs %d bytes)", bytes, op.bytes)
+		s.notify(call)
+		return
+	}
+	if reduce != nil && contrib != nil {
+		if op.acc == nil {
+			op.acc = contrib
+		} else {
+			op.acc = reduce(op.acc, contrib)
+		}
+	}
+	op.calls = append(op.calls, call)
 	op.arrived++
 	if op.arrived < g.members {
-		op.waiters.Wait(p, "sharp allreduce")
-		return op.result, op.err
+		return
 	}
-	// Last arriver drives the operation; detach it so the next one can
-	// start collecting while this one runs. The slot is fabric-wide:
-	// concurrent operations from other groups contend for it.
+	// Last arrival: detach the operation so the group's next one can
+	// start collecting while this one runs.
 	g.cur = nil
-	if g.sharp.failed {
+	if s.failed {
 		// The offload outage is observed here, and only here, so every
 		// caller of this operation sees the same verdict — per-caller
-		// checks would diverge, since members reach the call at different
+		// checks would diverge, since members arrive at different
 		// virtual times.
 		op.acc = nil
-		op.err = ErrSharpOffline
-		op.waiters.FireAll()
-		return nil, op.err
+		for _, c := range op.calls {
+			c.err = ErrSharpOffline
+			s.notify(c)
+		}
+		return
 	}
-	g.sharp.ost.Acquire(p)
-	g.Stats.Ops++
-	p.Sleep(g.sharp.OpLatency(g.nodes, bytes))
-	g.sharp.ost.Release()
-	op.result = op.acc
+	if s.slots > 0 {
+		s.slots--
+		s.begin(op)
+		return
+	}
+	s.waitq = append(s.waitq, op)
+}
+
+// begin starts a launched operation: every caller learns the result at
+// +OpLatency, and the slot frees at the same instant (releasing the next
+// queued operation, if any). Runs in network-LP context.
+func (s *Sharp) begin(op *sharpOp) {
+	op.group.Stats.Ops++
+	d := s.OpLatency(op.group.nodes, op.bytes)
+	result := op.acc
 	op.acc = nil
-	op.waiters.FireAll()
-	return op.result, nil
+	for _, c := range op.calls {
+		c.result = result
+		c.lpWake(s, d)
+	}
+	s.k.After(d, func() {
+		s.slots++
+		if len(s.waitq) > 0 {
+			next := s.waitq[0]
+			copy(s.waitq, s.waitq[1:])
+			s.waitq = s.waitq[:len(s.waitq)-1]
+			s.slots--
+			s.begin(next)
+		}
+	})
+}
+
+// notify delivers a refusal to one caller after the NACK round trip.
+func (s *Sharp) notify(c *sharpCall) {
+	c.lpWake(s, s.nackLatency())
+}
+
+// lpWake schedules the caller's wakeup on its own node, d from now. Every
+// wake delay is at least the kernel lookahead (see WakeLatency), so the
+// cross-LP event is always legal.
+func (c *sharpCall) lpWake(s *Sharp, d sim.Duration) {
+	s.k.AfterOn(c.lp, d, func() { c.done.Fire() })
 }

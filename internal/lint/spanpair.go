@@ -16,7 +16,10 @@ import (
 // Begin, every path to the function's exit (or to a reassignment of the
 // span variable) must pass an End. Spans that escape — passed to another
 // function, stored, returned, or captured by a non-End closure — are
-// assumed tracked by their new owner.
+// assumed tracked by their new owner. An End inside a function-literal
+// call argument also discharges the obligation: that is the sharded
+// kernel's handoff pattern, where a span begun on one shard is End-ed by
+// an event callback firing in another LP's context.
 var SpanpairAnalyzer = &Analyzer{
 	Name: "spanpair",
 	Doc:  "every trace.BeginCollective/BeginSpan must be End-ed (or deferred) on all paths",
@@ -227,6 +230,9 @@ func scanStmt(info *types.Info, s ast.Stmt, v types.Object) int {
 			if isPanic(info, call) {
 				return stEnded // path diverges
 			}
+			if closureEnds(info, call, v) {
+				return stEnded // an event callback carries the End
+			}
 		}
 	case *ast.DeferStmt:
 		if deferEnds(info, s.Call, v) {
@@ -362,6 +368,33 @@ func deferEnds(info *types.Info, call *ast.CallExpr, v types.Object) bool {
 		return !found
 	})
 	return found
+}
+
+// closureEnds reports whether a function-literal argument of call Ends
+// v at any nesting depth. This is the sharded kernel's span-handoff
+// pattern: a span begun in one LP's context is End-ed inside an event
+// callback scheduled on another LP — under a sharded coordinator, on a
+// different goroutine entirely (k.AfterOn(dst, d, func() { sp.End(t) })).
+// The End runs when the event fires in the destination's context, so the
+// obligation is discharged here: the event owns it from this point on.
+func closureEnds(info *types.Info, call *ast.CallExpr, v types.Object) bool {
+	found := false
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok && isEndCall(info, c, v) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
 }
 
 // valueUse reports whether v is used as a value inside n: any mention

@@ -68,3 +68,34 @@ func loopOnly(t *trace.Recorder, now sim.Time, n int) {
 		sp.End(now)
 	}
 }
+
+// crossShardEnd is the sharded-kernel handoff pattern: the span begins
+// in the caller's LP context and is End-ed inside an event callback
+// scheduled on a different LP — under a sharded coordinator, a different
+// kernel goroutine (rendezvous completions and SHArP wakeups do exactly
+// this). Capturing the span in the event closure transfers ownership to
+// the destination context, so no finding: the obligation moves with the
+// event, it does not leak.
+func crossShardEnd(t *trace.Recorder, k *sim.Kernel, now sim.Time) {
+	sp := t.BeginSpan(0, "rendezvous", now)
+	k.AfterOn(1, 100, func() { sp.End(now + 100) })
+}
+
+// crossShardBeginInCallback: the event closure is its own scope, so a
+// Begin inside it carries its own obligation even though the closure
+// runs on another shard — discarding it there is still a leak.
+func crossShardBeginInCallback(t *trace.Recorder, k *sim.Kernel, now sim.Time) {
+	k.AfterOn(1, 100, func() {
+		t.BeginSpan(0, "reduce", now) // want `span discarded: the result of BeginSpan must be End-ed`
+	})
+}
+
+// crossShardChained: begin on the source, hop through the NET LP, End on
+// the destination — the full two-hop fabric path. Each capture hands the
+// span to the next context; the final owner Ends it.
+func crossShardChained(t *trace.Recorder, k *sim.Kernel, now sim.Time) {
+	sp := t.BeginSpan(0, "wire", now)
+	k.AfterNet(0, func() {
+		k.AfterOn(2, 200, func() { sp.End(now + 200) })
+	})
+}

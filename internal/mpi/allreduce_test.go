@@ -205,7 +205,7 @@ func TestAllreduceDeterministicTiming(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return w.Kernel.Now()
+		return w.Now()
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatalf("nondeterministic timing: %v vs %v", a, b)
@@ -225,7 +225,7 @@ func TestAllreduceTimingScalesWithSize(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			return w.Kernel.Now()
+			return w.Now()
 		}
 		small, large := timeFor(256), timeFor(256<<10)
 		if large <= small {
@@ -246,7 +246,7 @@ func TestRecursiveDoublingLatencyScalesLogarithmically(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return w.Kernel.Now()
+		return w.Now()
 	}
 	t4, t16 := timeFor(4), timeFor(16)
 	// lg 16 / lg 4 = 2; allow slack but rule out linear growth (4x).
@@ -269,7 +269,7 @@ func TestRingCheaperThanRDForLargeMessages(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return w.Kernel.Now()
+		return w.Now()
 	}
 	ring, rd := timeFor(AlgRing), timeFor(AlgRecursiveDoubling)
 	if ring >= rd {

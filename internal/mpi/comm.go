@@ -17,19 +17,24 @@ type Comm struct {
 }
 
 // NewComm builds a communicator from global ranks (in comm-rank order).
-// Ranks must be distinct and valid.
+// Ranks must be distinct and valid. Safe to call during the run from any
+// rank (id allocation is locked); ids are unique but carry no meaning
+// beyond matching, so their allocation order cannot affect results.
 func (w *World) NewComm(ranks []int) *Comm {
 	if len(ranks) == 0 {
 		panic("mpi: empty communicator")
 	}
+	w.mu.Lock()
+	id := w.nextCID
+	w.nextCID++
+	w.mu.Unlock()
 	c := &Comm{
 		w:     w,
-		id:    w.nextCID,
+		id:    id,
 		ranks: append([]int(nil), ranks...),
 		index: make(map[int]int, len(ranks)),
 		seq:   make([]uint32, len(ranks)),
 	}
-	w.nextCID++
 	for i, g := range c.ranks {
 		if g < 0 || g >= len(w.ranks) {
 			panic(fmt.Sprintf("mpi: communicator rank %d out of range", g))
@@ -135,14 +140,26 @@ func (w *World) LeaderComm(localIdx int) *Comm {
 // object, so their messages match.
 func (w *World) internComm(ranks []int) *Comm {
 	key := fmt.Sprint(ranks)
+	w.mu.Lock()
 	if w.commCache == nil {
 		w.commCache = make(map[string]*Comm)
 	}
 	if c, ok := w.commCache[key]; ok {
+		w.mu.Unlock()
 		return c
 	}
+	w.mu.Unlock()
+	// NewComm takes the lock itself; build outside it, then publish (the
+	// first of two racing builders wins, so every member still shares one
+	// object — they derive identical groups, hence identical keys).
 	c := w.NewComm(ranks)
-	w.commCache[key] = c
+	w.mu.Lock()
+	if prior, ok := w.commCache[key]; ok {
+		c = prior
+	} else {
+		w.commCache[key] = c
+	}
+	w.mu.Unlock()
 	return c
 }
 

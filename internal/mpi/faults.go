@@ -35,17 +35,23 @@ func (w *World) installFaults(p *faults.Plan) {
 			w.strag[s.Rank] = append(w.strag[s.Rank], stragWin{s.Start, s.End, s.Factor})
 		}
 	}
-	k := w.Kernel
+	// Window-boundary events are installed on the LP owning the state
+	// they mutate: link capacities and the SHArP flag are fabric state on
+	// the network LP; NIC injector throttles are node-local state on the
+	// throttled node's LP. AtOn keys pre-run events by the target LP, so
+	// the installed event stream is identical under every shard count.
+	netK := w.coord.NetKernel()
+	netLP := netK.NetLP()
 	for _, lf := range p.Links {
 		lf := lf
 		up, down := w.Net.HCALinks(lf.Node, lf.HCA)
 		upBase, downBase := up.Capacity(), down.Capacity()
-		k.At(lf.Start, func() {
+		netK.AtOn(netLP, lf.Start, func() {
 			w.Flows.SetLinkCapacity(up, upBase*lf.Factor)
 			w.Flows.SetLinkCapacity(down, downBase*lf.Factor)
 		})
 		if lf.End != 0 {
-			k.At(lf.End, func() {
+			netK.AtOn(netLP, lf.End, func() {
 				w.Flows.SetLinkCapacity(up, upBase)
 				w.Flows.SetLinkCapacity(down, downBase)
 			})
@@ -53,33 +59,36 @@ func (w *World) installFaults(p *faults.Plan) {
 	}
 	for _, nt := range p.NICs {
 		nt := nt
-		k.At(nt.Start, func() { w.Net.SetInjectScale(nt.Node, nt.HCA, nt.Factor) })
+		nk := w.coord.KernelFor(nt.Node)
+		nk.AtOn(nt.Node, nt.Start, func() { w.Net.SetInjectScale(nt.Node, nt.HCA, nt.Factor) })
 		if nt.End != 0 {
-			k.At(nt.End, func() { w.Net.SetInjectScale(nt.Node, nt.HCA, 1) })
+			nk.AtOn(nt.Node, nt.End, func() { w.Net.SetInjectScale(nt.Node, nt.HCA, 1) })
 		}
 	}
 	if w.Sharp != nil {
 		for _, o := range p.Sharp {
 			o := o
-			k.At(o.Start, func() { w.Sharp.SetFailed(true) })
+			netK.AtOn(netLP, o.Start, func() { w.Sharp.SetFailed(true) })
 			if o.End != 0 {
-				k.At(o.End, func() { w.Sharp.SetFailed(false) })
+				netK.AtOn(netLP, o.End, func() { w.Sharp.SetFailed(false) })
 			}
 		}
 	}
 }
 
 // stretch scales a CPU-side duration by the rank's straggler factor in
-// force right now (the largest of its active windows). Without straggler
-// faults it returns d unchanged after a single nil check — this sits on
-// the send/receive/compute hot paths and must cost nothing when off.
-func (w *World) stretch(rank int, d sim.Duration) sim.Duration {
+// force right now (the largest of its active windows), reading the clock
+// of the rank's own kernel — stretch is only ever called in the rank's
+// node context. Without straggler faults it returns d unchanged after a
+// single nil check — this sits on the send/receive/compute hot paths and
+// must cost nothing when off.
+func (w *World) stretch(rk *Rank, d sim.Duration) sim.Duration {
 	if w.strag == nil || d <= 0 {
 		return d
 	}
 	f := 1.0
-	now := w.Kernel.Now()
-	for _, win := range w.strag[rank] {
+	now := rk.k.Now()
+	for _, win := range w.strag[rk.rank] {
 		if now >= win.start && (win.end == 0 || now < win.end) && win.factor > f {
 			f = win.factor
 		}

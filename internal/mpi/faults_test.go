@@ -32,7 +32,7 @@ func pingPongEnd(t *testing.T, cfg Config) sim.Time {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return w.Kernel.Now()
+	return w.Now()
 }
 
 // TestFaultsDisabledBitTransparent: nil and empty plans leave the run —
@@ -55,7 +55,7 @@ func TestFaultsDisabledBitTransparent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return obs{w.Kernel.Now(), w.Kernel.Stats.Events}
+		return obs{w.Now(), w.SimStats().Events}
 	}
 	base := run(Config{})
 	if got := run(Config{Faults: nil}); got != base {
@@ -81,7 +81,7 @@ func TestStragglerStretchesCompute(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		return w.Kernel.Now()
+		return w.Now()
 	}
 	healthy := end(nil)
 	slowed := end(&faults.Plan{Stragglers: []faults.Straggler{{Rank: 0, Factor: 4}}})
@@ -126,7 +126,7 @@ func TestLinkFaultSlowsTransfer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return w.Kernel.Now()
+		return w.Now()
 	}
 	healthy := end(nil)
 	// 5% of ClusterB's 12 GB/s link sits well below the 1.1 GB/s per-flow
@@ -161,7 +161,7 @@ func TestNICThrottleSlowsInjection(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return w.Kernel.Now()
+		return w.Now()
 	}
 	healthy := end(nil)
 	// The scaled gap must exceed the 400ns sender overhead before the

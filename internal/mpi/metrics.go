@@ -15,20 +15,33 @@ import (
 // enough to call repeatedly.
 func (w *World) Metrics() *metrics.Registry {
 	r := metrics.NewRegistry()
-	elapsed := w.Kernel.Now().Sub(0)
+	elapsed := w.Now().Sub(0)
+	stats := w.SimStats()
 
 	r.Set("job.procs", "", float64(w.Job.NumProcs()))
 	r.Set("job.nodes", "", float64(w.Job.NodesUsed))
 	r.Set("job.ppn", "", float64(w.Job.PPN))
 	r.Set("sim.elapsed", "ns", float64(elapsed))
-	r.Set("sim.events", "", float64(w.Kernel.Stats.Events))
-	r.Set("sim.context_switches", "", float64(w.Kernel.Stats.ContextSwitch))
-	r.Set("sim.heap_high_water", "events", float64(w.Kernel.Stats.HeapHighWater))
+	r.Set("sim.events", "", float64(stats.Events))
+	// Host-side scheduler counters: deterministic for a fixed shard
+	// count, but not shard-invariant (see sim.KernelStats) — tools
+	// comparing runs across shard counts must skip them.
+	r.Set("sim.context_switches", "", float64(stats.ContextSwitch))
+	r.Set("sim.heap_high_water", "events", float64(stats.HeapHighWater))
 
-	r.Set("flows.started", "", float64(w.Flows.Stats.Started))
-	r.Set("flows.completed", "", float64(w.Flows.Stats.Completed))
-	r.Set("flows.recomputes", "", float64(w.Flows.Stats.Recompute))
-	r.Set("flows.fast_path", "", float64(w.Flows.Stats.FastPath))
+	// Flow-engine counters, aggregated across the network LP's engine
+	// and the per-node memory engines (each shard-invariant on its own).
+	flows := w.Flows.Stats
+	for _, fn := range w.memFlows {
+		flows.Started += fn.Stats.Started
+		flows.Completed += fn.Stats.Completed
+		flows.Recompute += fn.Stats.Recompute
+		flows.FastPath += fn.Stats.FastPath
+	}
+	r.Set("flows.started", "", float64(flows.Started))
+	r.Set("flows.completed", "", float64(flows.Completed))
+	r.Set("flows.recomputes", "", float64(flows.Recompute))
+	r.Set("flows.fast_path", "", float64(flows.FastPath))
 
 	r.Set("net.messages", "", float64(w.Net.Stats.Messages))
 	r.Set("net.bytes", "bytes", float64(w.Net.Stats.Bytes))

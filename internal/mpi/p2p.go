@@ -46,7 +46,7 @@ func (r *Rank) Isend(c *Comm, dst, tag int, vec *Vector) *Request {
 		// message is visible to the receiver.
 		cross := r.place.Socket != dstRank.place.Socket
 		r.MemCopy(cross, vec.Bytes())
-		dstRank.deliver(&envelope{key: key, vec: r.w.transitClone(vec), srcRank: r})
+		dstRank.deliver(&envelope{key: key, vec: r.w.transitClone(r.place.Node, vec), srcRank: r})
 		req.complete()
 		return req
 	}
@@ -54,11 +54,11 @@ func (r *Rank) Isend(c *Comm, dst, tag int, vec *Vector) *Request {
 	if vec.Bytes() <= r.w.EagerThreshold() {
 		// Eager: pay CPU overhead and the NIC injection slot, launch the
 		// wire transfer, and consider the buffer reusable at once.
-		r.proc.Sleep(r.w.stretch(r.rank, prof.SenderOverhead))
+		r.proc.Sleep(r.w.stretch(r, prof.SenderOverhead))
 		if d := r.ep.InjectDelay(); d > 0 {
 			r.proc.Sleep(d)
 		}
-		env := &envelope{key: key, vec: r.w.transitClone(vec), srcRank: r, recvOverhead: prof.ReceiverOverhead + r.w.jitter()}
+		env := &envelope{key: key, vec: r.w.transitClone(r.place.Node, vec), srcRank: r, recvOverhead: prof.ReceiverOverhead + r.jitter()}
 		r.w.Net.StartTransfer(r.ep, dstRank.ep, int64(vec.Bytes()), func() { dstRank.deliver(env) })
 		req.complete()
 		return req
@@ -66,12 +66,14 @@ func (r *Rank) Isend(c *Comm, dst, tag int, vec *Vector) *Request {
 
 	// Rendezvous: an RTS control message travels to the receiver; the
 	// payload moves only after the receiver matches and returns a CTS.
-	r.proc.Sleep(r.w.stretch(r.rank, prof.SenderOverhead))
+	r.proc.Sleep(r.w.stretch(r, prof.SenderOverhead))
 	env := &envelope{
 		key: key, vec: vec, rendezvous: true, sendReq: req, srcRank: r,
-		recvOverhead: prof.ReceiverOverhead + r.w.jitter(),
+		recvOverhead: prof.ReceiverOverhead + r.jitter(),
 	}
-	r.w.Kernel.After(prof.WireLatency, func() { dstRank.deliver(env) })
+	// The RTS fires in the receiver's node context one wire latency out
+	// (the lookahead bound makes this legal under any sharding).
+	r.k.AfterOn(dstRank.place.Node, prof.WireLatency, func() { dstRank.deliver(env) })
 	return req
 }
 
@@ -150,35 +152,36 @@ func (r *Rank) completeRecv(env *envelope, req *Request) {
 	req.vec.CopyFrom(env.vec)
 	if !env.rendezvous {
 		// Eager payloads ride in a transit clone that dies here; recycle
-		// it. Rendezvous envelopes carry the sender's own buffer, which
-		// the pool must never capture.
-		r.w.transitRelease(env.vec)
+		// it into this node's pool (it was drawn from the sender's).
+		// Rendezvous envelopes carry the sender's own buffer, which the
+		// pool must never capture.
+		r.w.transitRelease(r.place.Node, env.vec)
 	}
 	env.vec = nil
 	if env.recvOverhead > 0 {
 		// The receiver's straggler factor applies at landing time, not at
 		// the instant the sender stamped the overhead.
-		r.w.Kernel.After(r.w.stretch(r.rank, env.recvOverhead), req.complete)
+		r.k.After(r.w.stretch(r, env.recvOverhead), req.complete)
 	} else {
 		req.complete()
 	}
 }
 
 // startRendezvous runs the CTS + data phase of a matched rendezvous
-// message entirely in event context: CTS wire latency back to the sender,
-// the sender NIC's injection slot, the payload flow, then completion of
-// both requests.
+// message entirely in event context: CTS wire latency back to the sender
+// (in the sender's node context, where its NIC injection slot is
+// reserved), the payload flow, then completion of both requests — the
+// receive side in the receiver's context, the send side in the sender's.
 func (r *Rank) startRendezvous(env *envelope, req *Request) {
 	w := r.w
 	prof := w.Job.Cluster.Net
 	src := env.srcRank
-	w.Kernel.After(prof.WireLatency, func() { // CTS reaches the sender
+	r.k.AfterOn(src.place.Node, prof.WireLatency, func() { // CTS reaches the sender
 		d := src.ep.InjectDelay()
-		w.Kernel.After(d, func() {
-			w.Net.StartTransfer(src.ep, r.ep, int64(env.vec.Bytes()), func() {
-				env.sendReq.complete()
-				r.completeRecv(env, req)
-			})
+		src.k.After(d, func() {
+			w.Net.StartTransferNotify(src.ep, r.ep, int64(env.vec.Bytes()),
+				func() { r.completeRecv(env, req) },
+				env.sendReq.complete)
 		})
 	})
 }

@@ -41,8 +41,8 @@ func TestSendRecvInterNodeEager(t *testing.T) {
 	// Latency sanity: at least overhead + wire, far less than a second.
 	net := w.Job.Cluster.Net
 	min := net.SenderOverhead + net.WireLatency + net.ReceiverOverhead
-	if sim.Duration(w.Kernel.Now()) < min {
-		t.Fatalf("eager latency %v below floor %v", w.Kernel.Now(), min)
+	if sim.Duration(w.Now()) < min {
+		t.Fatalf("eager latency %v below floor %v", w.Now(), min)
 	}
 }
 
@@ -70,8 +70,8 @@ func TestSendRecvInterNodeRendezvous(t *testing.T) {
 	net := w.Job.Cluster.Net
 	flowTime := sim.TransferTime(8*n, net.PerFlowCap)
 	min := net.SenderOverhead + 2*net.WireLatency + flowTime
-	if sim.Duration(w.Kernel.Now()) < min {
-		t.Fatalf("rendezvous latency %v below floor %v", w.Kernel.Now(), min)
+	if sim.Duration(w.Now()) < min {
+		t.Fatalf("rendezvous latency %v below floor %v", w.Now(), min)
 	}
 }
 
@@ -93,7 +93,7 @@ func TestRendezvousSlowerThanEagerForSameBytes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return w.Kernel.Now()
+		return w.Now()
 	}
 	eager := run(1 << 20)
 	rendezvous := run(1)
@@ -148,7 +148,7 @@ func TestCrossSocketCopyCostsMore(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return w.Kernel.Now()
+		return w.Now()
 	}
 	same := run(13)
 	cross := run(14)
@@ -393,7 +393,7 @@ func TestPhantomPayloadSameTiming(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return w.Kernel.Now()
+		return w.Now()
 	}
 	if real, ph := run(false), run(true); real != ph {
 		t.Fatalf("real %v != phantom %v", real, ph)

@@ -39,7 +39,7 @@ func TestWindowOfSendsSharesSenderPipe(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return sim.Duration(w.Kernel.Now())
+		return sim.Duration(w.Now())
 	}
 	t1, t4 := elapsed(1), elapsed(4)
 	ratio := float64(t4) / float64(t1)
@@ -69,7 +69,7 @@ func TestDistinctSendersScaleUntilLink(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return sim.Duration(w.Kernel.Now())
+		return sim.Duration(w.Now())
 	}
 	t1, t8 := elapsed(1), elapsed(8)
 	if float64(t8) > 1.3*float64(t1) {
@@ -101,7 +101,7 @@ func TestFullDuplexExchange(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return sim.Duration(w.Kernel.Now())
+		return sim.Duration(w.Now())
 	}
 	uni, bi := run(false), run(true)
 	if float64(bi) > 1.3*float64(uni) {

@@ -33,7 +33,7 @@ func TestTransitPoolReusesEagerClones(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := vecShape{dtype: Float64, n: 8}
-	free := w.vecPool[key]
+	free := w.trans[0][key] // intra-node traffic: node 0's pool
 	if len(free) != 1 {
 		t.Fatalf("free list holds %d clones after %d sequential sends, want 1 (reuse)", len(free), rounds)
 	}
@@ -64,15 +64,17 @@ func TestTransitPoolIgnoresRendezvous(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, free := range w.vecPool {
-		for _, f := range free {
-			if f == sent {
-				t.Fatal("pool captured the rendezvous sender's buffer")
+	for node, pool := range w.trans {
+		for _, free := range pool {
+			for _, f := range free {
+				if f == sent {
+					t.Fatal("pool captured the rendezvous sender's buffer")
+				}
 			}
 		}
-	}
-	if free := w.vecPool[vecShape{dtype: Float64, n: n}]; len(free) != 0 {
-		t.Fatalf("rendezvous transfer left %d vectors in the pool, want 0", len(free))
+		if free := pool[vecShape{dtype: Float64, n: n}]; len(free) != 0 {
+			t.Fatalf("rendezvous transfer left %d vectors in node %d's pool, want 0", len(free), node)
+		}
 	}
 }
 

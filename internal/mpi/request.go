@@ -23,7 +23,7 @@ type Request struct {
 func newRequest(owner *Rank, kind string, key msgKey, vec *Vector) *Request {
 	return &Request{
 		owner: owner, kind: kind, key: key, vec: vec,
-		start: owner.w.Kernel.Now(), peer: -1,
+		start: owner.k.Now(), peer: -1,
 	}
 }
 
@@ -44,7 +44,7 @@ func (q *Request) complete() {
 		}
 		rec.Add(trace.Event{
 			Rank: q.owner.rank, Kind: kind, Label: label,
-			Start: q.start, End: q.owner.w.Kernel.Now(), Bytes: q.vec.Bytes(),
+			Start: q.start, End: q.owner.k.Now(), Bytes: q.vec.Bytes(),
 		})
 	}
 	q.owner.anyDone.FireAll()

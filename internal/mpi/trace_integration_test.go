@@ -43,7 +43,7 @@ func TestTracingRecordsP2PAndCompute(t *testing.T) {
 	}
 	// Event durations must be positive and within the run.
 	for _, e := range rec.Events() {
-		if e.End < e.Start || e.End > w.Kernel.Now() {
+		if e.End < e.Start || e.End > w.Now() {
 			t.Fatalf("event out of range: %+v", e)
 		}
 	}
@@ -83,7 +83,7 @@ func runJittered(t *testing.T, jitter sim.Duration, seed uint64) sim.Time {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return w.Kernel.Now()
+	return w.Now()
 }
 
 func TestJitterDeterministicPerSeed(t *testing.T) {

@@ -8,11 +8,20 @@
 // Every rank is a simulated process (sim.Proc). Data movement is charged
 // to the fabric model and — when buffers are real rather than phantom —
 // actually performed, so reduction results can be verified bit-for-bit.
+//
+// A world's simulation can be sharded across OS threads (Config.Shards):
+// each node's ranks, memory channel, and NIC state live on the node's
+// logical process, fabric-wide state (links, flows, SHArP) on the shared
+// network LP, and a conservative time-window coordinator runs the shards
+// in parallel. Results are bit-identical for every shard count.
 package mpi
 
 import (
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
+	"sync"
 
 	"dpml/internal/fabric"
 	"dpml/internal/faults"
@@ -33,8 +42,10 @@ type Config struct {
 	// this much per inter-node message, modelling system noise. Zero
 	// disables injection.
 	Jitter sim.Duration
-	// JitterSeed seeds the noise stream; runs with equal seeds are
-	// identical.
+	// JitterSeed seeds the noise streams; runs with equal seeds are
+	// identical. Each rank draws from its own splitmix64 stream (derived
+	// from the seed and the rank), so the noise a message sees does not
+	// depend on how the simulation is sharded.
 	JitterSeed uint64
 	// Faults, when non-nil and non-empty, installs the fault plan into
 	// the world before the run starts: straggler windows, link
@@ -49,48 +60,112 @@ type Config struct {
 	// instead of simulating a wedged collective forever. Zero disables
 	// it.
 	Watchdog sim.Duration
+	// Shards splits the simulation kernel across this many OS threads
+	// (clamped to the node count; nodes are partitioned contiguously).
+	// Zero uses the process default (DefaultShards); 1 forces the serial
+	// kernel. Every shard count produces bit-identical results — this
+	// knob trades memory and synchronization overhead for wall-clock
+	// speed only.
+	Shards int
+}
+
+// defaultShards is the process-wide shard count used when Config.Shards
+// is zero, initialized from the DPML_SHARDS environment variable (the CLI
+// tools' -shards flag overrides it via SetDefaultShards).
+var defaultShards = func() int {
+	if s := os.Getenv("DPML_SHARDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}()
+
+// DefaultShards returns the process-wide default kernel shard count.
+func DefaultShards() int { return defaultShards }
+
+// SetDefaultShards sets the process-wide default kernel shard count used
+// by worlds whose Config.Shards is zero. n < 1 resets to serial.
+func SetDefaultShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultShards = n
 }
 
 // World is one job: the simulated cluster fabric plus one rank per
 // process. Create it with NewWorld, then call Run exactly once.
 type World struct {
-	Kernel *sim.Kernel
-	Job    *topology.Job
-	Flows  *fabric.FlowNet
-	Net    *fabric.Network
-	Mem    []*fabric.MemChannel // indexed by node
-	Sharp  *fabric.Sharp        // nil when the fabric has no SHArP
+	Job   *topology.Job
+	Flows *fabric.FlowNet      // the network LP's flow engine (wire traffic)
+	Net   *fabric.Network
+	Mem   []*fabric.MemChannel // indexed by node
+	Sharp *fabric.Sharp        // nil when the fabric has no SHArP
 
-	cfg       Config
-	ranks     []*Rank
-	world     *Comm
+	coord    *sim.Coordinator
+	memFlows []*fabric.FlowNet // per-node flow engines for memory traffic
+	cfg      Config
+	ranks    []*Rank
+	world    *Comm
+	rngs     []uint64     // per-rank jitter stream states
+	strag    [][]stragWin // per-rank straggler windows; nil without straggler faults
+	trans    []map[vecShape][]*Vector // per-node free lists for in-flight payload clones (see pool.go)
+
+	// mu guards the communicator registry (nextCID, commCache): runtime
+	// Split calls can race across shards. Communicator ids only need to
+	// be unique — they never influence timing or data, only message
+	// matching within a communicator, whose members share the object.
+	mu        sync.Mutex
 	nextCID   int
-	rng       uint64       // jitter stream state
-	strag     [][]stragWin // per-rank straggler windows; nil without straggler faults
 	commCache map[string]*Comm
-	vecPool   map[vecShape][]*Vector // free list for in-flight payload clones (see pool.go)
+}
+
+// lookahead returns the conservative cross-node latency bound for the
+// cluster: no interaction between two nodes — wire message or SHArP
+// notification — takes effect sooner than this after it is initiated.
+func lookahead(c *topology.Cluster) sim.Duration {
+	la := c.Net.WireLatency
+	if c.Sharp.Available {
+		if w := c.Sharp.OpOverhead + 2*c.Sharp.HopLatency; w < la {
+			la = w
+		}
+	}
+	return la
 }
 
 // NewWorld builds the simulated job.
 func NewWorld(job *topology.Job, cfg Config) *World {
-	k := sim.NewKernel()
-	flows := fabric.NewFlowNet(k)
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = defaultShards
+	}
+	coord := sim.NewCoordinator(job.NodesUsed, shards, lookahead(job.Cluster))
+	netK := coord.NetKernel()
+	flows := fabric.NewFlowNet(netK)
 	w := &World{
-		Kernel: k,
-		Job:    job,
-		Flows:  flows,
-		Net:    fabric.NewNetwork(k, flows, job.Cluster, job.NodesUsed),
-		cfg:    cfg,
+		coord: coord,
+		Job:   job,
+		Flows: flows,
+		Net:   fabric.NewNetwork(coord, flows, job.Cluster, job.NodesUsed),
+		cfg:   cfg,
 	}
 	w.Mem = make([]*fabric.MemChannel, job.NodesUsed)
+	w.memFlows = make([]*fabric.FlowNet, job.NodesUsed)
+	w.trans = make([]map[vecShape][]*Vector, job.NodesUsed)
 	for i := range w.Mem {
-		w.Mem[i] = fabric.NewMemChannel(k, flows, job.Cluster, i)
+		mk := coord.KernelFor(i)
+		w.memFlows[i] = fabric.NewFlowNet(mk)
+		w.Mem[i] = fabric.NewMemChannel(mk, w.memFlows[i], job.Cluster, i)
 	}
-	if s, err := fabric.NewSharp(k, job.Cluster); err == nil {
+	if s, err := fabric.NewSharp(netK, job.Cluster); err == nil {
 		w.Sharp = s
 	}
-	w.rng = cfg.JitterSeed*2654435761 + 0x9e3779b97f4a7c15
 	n := job.NumProcs()
+	w.rngs = make([]uint64, n)
+	for i := range w.rngs {
+		w.rngs[i] = (cfg.JitterSeed+uint64(i))*2654435761 + 0x9e3779b97f4a7c15
+	}
+	cfg.Trace.Reserve(n)
 	w.ranks = make([]*Rank, n)
 	all := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -98,15 +173,30 @@ func NewWorld(job *topology.Job, cfg Config) *World {
 		all[i] = i
 	}
 	w.world = w.NewComm(all)
-	k.SetDiagnostic(w.diagnostics)
+	coord.SetDiagnostic(w.diagnostics)
 	if cfg.Watchdog > 0 {
-		k.SetWatchdog(cfg.Watchdog)
+		coord.SetWatchdog(cfg.Watchdog)
 	}
 	if !cfg.Faults.Empty() {
 		w.installFaults(cfg.Faults)
 	}
 	return w
 }
+
+// Coordinator returns the simulation's shard coordinator.
+func (w *World) Coordinator() *sim.Coordinator { return w.coord }
+
+// Shards returns the effective kernel shard count in force.
+func (w *World) Shards() int { return w.coord.Shards() }
+
+// Now returns the simulation's current virtual time (after Run: the
+// instant the last event fired, identical for every shard count).
+func (w *World) Now() sim.Time { return w.coord.Now() }
+
+// SimStats returns the kernel scheduler counters aggregated across all
+// shards. Events is shard-invariant; ContextSwitch and HeapHighWater are
+// host-side counters that depend on the shard count.
+func (w *World) SimStats() sim.KernelStats { return w.coord.Stats() }
 
 // EagerThreshold returns the eager/rendezvous switch point in force.
 func (w *World) EagerThreshold() int {
@@ -122,14 +212,17 @@ func (w *World) CommWorld() *Comm { return w.world }
 // Tracer returns the configured event recorder (nil when tracing is off).
 func (w *World) Tracer() *trace.Recorder { return w.cfg.Trace }
 
-// jitter returns the next pseudo-random extra latency in [0, Jitter],
-// deterministic per seed (splitmix64 stream).
-func (w *World) jitter() sim.Duration {
+// jitter returns the sending rank's next pseudo-random extra latency in
+// [0, Jitter] (splitmix64). Each rank owns its stream and only consumes
+// it from its own simulation context, in an order the shard count cannot
+// change — so jittered runs are bit-identical under any sharding.
+func (r *Rank) jitter() sim.Duration {
+	w := r.w
 	if w.cfg.Jitter <= 0 {
 		return 0
 	}
-	w.rng += 0x9e3779b97f4a7c15
-	z := w.rng
+	w.rngs[r.rank] += 0x9e3779b97f4a7c15
+	z := w.rngs[r.rank]
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
@@ -146,12 +239,12 @@ func (w *World) Run(main func(*Rank) error) error {
 	errs := make([]error, len(w.ranks))
 	for _, rk := range w.ranks {
 		rk := rk
-		w.Kernel.Spawn(fmt.Sprintf("rank%d", rk.rank), func(p *sim.Proc) {
+		rk.k.SpawnOn(rk.place.Node, fmt.Sprintf("rank%d", rk.rank), func(p *sim.Proc) {
 			rk.proc = p
 			errs[rk.rank] = main(rk)
 		})
 	}
-	if err := w.Kernel.Run(); err != nil {
+	if err := w.coord.Run(); err != nil {
 		return err
 	}
 	return errors.Join(errs...)
@@ -162,10 +255,12 @@ type Rank struct {
 	w     *World
 	rank  int
 	place topology.Placement
+	k     *sim.Kernel // the kernel owning this rank's node LP
 	proc  *sim.Proc
 	ep    *fabric.Endpoint // this process's network attachment
 
-	// Message matching state (only ever touched in simulation context).
+	// Message matching state (only ever touched in this node's
+	// simulation context).
 	unexpected map[msgKey][]*envelope
 	posted     map[msgKey][]*Request
 	anyDone    sim.Signal // fired whenever one of this rank's requests completes
@@ -177,6 +272,7 @@ func newRank(w *World, i int) *Rank {
 		w:          w,
 		rank:       i,
 		place:      place,
+		k:          w.coord.KernelFor(place.Node),
 		ep:         w.Net.Endpoint(place.Node, place.HCA),
 		unexpected: make(map[msgKey][]*envelope),
 		posted:     make(map[msgKey][]*Request),
@@ -208,7 +304,7 @@ func (r *Rank) Compute(bytes int) {
 		return
 	}
 	start := r.proc.Now()
-	r.proc.Sleep(r.w.stretch(r.rank, sim.TransferTime(int64(bytes), r.w.Job.Cluster.CPU.ReduceRate)))
+	r.proc.Sleep(r.w.stretch(r, sim.TransferTime(int64(bytes), r.w.Job.Cluster.CPU.ReduceRate)))
 	r.w.cfg.Trace.Add(trace.Event{
 		Rank: r.rank, Kind: trace.KindCompute, Start: start, End: r.proc.Now(), Bytes: bytes,
 	})

@@ -4,15 +4,22 @@ package sim
 // Kernel.At and may be cancelled or rescheduled before they fire. The
 // callback runs in kernel context: it must not block, but it may schedule
 // further events, ready parked procs, and mutate simulation state freely
-// (the kernel is single-threaded with respect to simulation state).
+// (each kernel is single-threaded with respect to its own shard's state).
 //
 // Event objects are pooled by the kernel: a handle is only valid until
 // the event fires (or, once cancelled, until the kernel discards it).
 // Retaining a handle past that point and calling Cancel on it may affect
 // an unrelated, recycled event.
 type Event struct {
-	at        Time
-	seq       uint64 // tiebreaker: FIFO among events at the same instant
+	at Time
+	// prio breaks ties among events at the same instant. It packs the
+	// creating LP (origin+1, so the watchdog's origin -1 sorts first) in
+	// the top bits and that LP's private creation counter in the low 44
+	// bits. Because every LP executes in the same order under any shard
+	// count, the key (at, prio) is a globally consistent total order:
+	// serial and sharded runs pop events identically.
+	prio      uint64
+	exec      int32 // LP the callback runs as (kernel's curLP during fn)
 	fn        func()
 	cancelled bool
 	index     int32 // current heap slot; -1 once popped
@@ -35,24 +42,25 @@ func (e *Event) Cancelled() bool { return e == nil || e.cancelled }
 // When returns the instant the event is scheduled to fire at.
 func (e *Event) When() Time { return e.at }
 
-// eventEntry is one heap slot. The ordering key (at, seq) is stored by
+// eventEntry is one heap slot. The ordering key (at, prio) is stored by
 // value so comparisons stay inside the backing array: with ~10k pending
 // events (one per rank of a large collective), a pointer-chasing
 // comparator made the heap the simulator's single hottest path — every
 // sift dereferenced two cold *Event allocations per level.
 type eventEntry struct {
-	at  Time
-	seq uint64
-	ev  *Event
+	at   Time
+	prio uint64
+	ev   *Event
 }
 
-// eventHeap is a 4-ary min-heap ordered by (at, seq). seq is unique, so
-// the order is a strict total order and pop order is identical for any
-// correct heap — switching arity or sift strategy cannot perturb
-// simulation behavior. 4-ary halves the depth of a binary heap and its
-// children share cache lines, which matters at 10k+ pending events.
-// Sifts move a hole instead of swapping, writing each slot once, and
-// maintain each event's index so update can re-key it in place.
+// eventHeap is a 4-ary min-heap ordered by (at, prio). prio is unique
+// within a kernel (LP id + per-LP counter), so the order is a strict
+// total order and pop order is identical for any correct heap — switching
+// arity or sift strategy cannot perturb simulation behavior. 4-ary halves
+// the depth of a binary heap and its children share cache lines, which
+// matters at 10k+ pending events. Sifts move a hole instead of swapping,
+// writing each slot once, and maintain each event's index so update can
+// re-key it in place.
 type eventHeap struct {
 	a []eventEntry
 }
@@ -60,11 +68,11 @@ type eventHeap struct {
 func (h *eventHeap) len() int { return len(h.a) }
 
 func entryLess(x, y eventEntry) bool {
-	return x.at < y.at || (x.at == y.at && x.seq < y.seq)
+	return x.at < y.at || (x.at == y.at && x.prio < y.prio)
 }
 
 func (h *eventHeap) push(e *Event) {
-	h.a = append(h.a, eventEntry{at: e.at, seq: e.seq, ev: e})
+	h.a = append(h.a, eventEntry{at: e.at, prio: e.prio, ev: e})
 	h.siftUp(len(h.a) - 1)
 }
 
@@ -86,12 +94,12 @@ func (h *eventHeap) pop() *Event {
 	return top
 }
 
-// update re-keys the event at heap slot e.index to (at, seq) and restores
-// heap order, without allocating or leaving a tombstone behind.
-func (h *eventHeap) update(e *Event, at Time, seq uint64) {
+// update re-keys the event at heap slot e.index to (at, prio) and
+// restores heap order, without allocating or leaving a tombstone behind.
+func (h *eventHeap) update(e *Event, at Time, prio uint64) {
 	i := int(e.index)
-	e.at, e.seq = at, seq
-	h.a[i].at, h.a[i].seq = at, seq
+	e.at, e.prio = at, prio
+	h.a[i].at, h.a[i].prio = at, prio
 	if !h.siftUp(i) {
 		h.siftDown(i)
 	}
@@ -146,9 +154,9 @@ func (h *eventHeap) siftDown(i int) {
 	x.ev.index = int32(i)
 }
 
-// peekAt returns the (at, seq) key of the earliest pending event without
-// removing it. The entry may be cancelled; fast-path callers must treat
-// that conservatively (a cancelled top only ever delays a fast path).
+// peekAt returns the at of the earliest pending event without removing
+// it. The entry may be cancelled; fast-path callers must treat that
+// conservatively (a cancelled top only ever delays a fast path).
 func (h *eventHeap) peekAt() (Time, bool) {
 	if len(h.a) == 0 {
 		return 0, false

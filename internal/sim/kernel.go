@@ -4,7 +4,7 @@
 // exactly one of them at a time, passing a single run token around. All
 // simulation state is therefore mutated without data races and every run
 // is bit-for-bit reproducible: scheduling is decided only by the virtual
-// clock, a FIFO ready queue, and an event heap with a sequence-number
+// clock, a FIFO ready queue, and an event heap with a (LP, counter)
 // tiebreaker.
 //
 // Scheduling is direct handoff ("hot potato"): there is no resident
@@ -23,6 +23,17 @@
 // procs. If the ready queue and event heap are both empty while procs
 // remain parked, the run ends with a deadlock report naming each blocked
 // proc.
+//
+// # Logical processes and sharding
+//
+// Every proc and event belongs to a logical process (LP). A standalone
+// kernel (NewKernel) has a single LP and behaves exactly as described
+// above. A Coordinator (see sync.go) partitions the LPs of one simulation
+// across several kernels — one per shard plus one for the shared network
+// — and runs them in parallel under a conservative time-window protocol.
+// Event keys are (at, origin LP, per-LP counter) in every mode, so the
+// pop order, and therefore the simulation's entire behavior, is identical
+// for every shard count.
 package sim
 
 import (
@@ -30,6 +41,9 @@ import (
 	"sort"
 	"strings"
 )
+
+// maxTime is the sentinel "never" instant for horizons and deadlines.
+const maxTime = Time(1 << 62)
 
 type procState uint8
 
@@ -46,6 +60,7 @@ const (
 type Proc struct {
 	k         *Kernel
 	id        int
+	lp        int32 // owning logical process (shard-local state domain)
 	name      string
 	run       chan struct{}
 	state     procState
@@ -62,6 +77,9 @@ func (p *Proc) Name() string { return p.name }
 
 // Kernel returns the kernel this proc belongs to.
 func (p *Proc) Kernel() *Kernel { return p.k }
+
+// LP returns the logical process (node) the proc belongs to.
+func (p *Proc) LP() int { return int(p.lp) }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
@@ -96,7 +114,7 @@ func (e *DeadlockError) Error() string {
 type WatchdogError struct {
 	Deadline  Time
 	Blocked   []string // "name: reason" for each parked proc
-	NextEvent string   // event-heap head after the watchdog fired
+	NextEvent string   // event-heap head past the deadline, "none" if dry
 	Diag      string   // optional workload diagnostic (see SetDiagnostic)
 }
 
@@ -119,17 +137,84 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("sim: proc %q panicked: %v", e.Proc, e.Value)
 }
 
-// Kernel owns the virtual clock, the event heap, and the proc scheduler.
-// The zero value is not usable; call NewKernel.
+// KernelStats counts scheduler activity; useful in tests and reports.
+// Events and HeapHighWater are identical for every shard count of the
+// same simulation; ContextSwitch depends on how procs interleave within
+// one kernel and is therefore deterministic per shard count but not
+// shard-invariant.
+type KernelStats struct {
+	Events uint64
+	// ContextSwitch counts actual goroutine handoffs of the run token.
+	// The previous two-hop scheduler (proc -> kernel goroutine -> proc)
+	// paid two switches per scheduling decision and reported one;
+	// direct handoff pays one, and zero when a proc resumes itself
+	// (sleep/yield fast paths), so the reported count now matches what
+	// the host actually pays.
+	ContextSwitch uint64
+	// HeapHighWater is the largest number of events pending at once —
+	// the scheduler's memory footprint peak. A host-side counter only;
+	// tracking it cannot affect virtual time.
+	HeapHighWater uint64
+}
+
+// add accumulates other into s (used by Coordinator.Stats).
+func (s *KernelStats) add(o KernelStats) {
+	s.Events += o.Events
+	s.ContextSwitch += o.ContextSwitch
+	s.HeapHighWater += o.HeapHighWater
+}
+
+// outEvent is a cross-shard event creation buffered in the source
+// kernel's per-destination outbox until the next window barrier. The key
+// (at, prio) was fixed at creation time by the source LP, so the order
+// outboxes are drained in cannot affect where the event sorts.
+type outEvent struct {
+	at   Time
+	prio uint64
+	exec int32
+	fn   func()
+}
+
+// Kernel owns a virtual clock, an event heap, and a proc scheduler for
+// one shard's worth of logical processes. The zero value is not usable;
+// call NewKernel (standalone, single LP) or build a Coordinator.
 type Kernel struct {
 	now    Time
 	events eventHeap
-	seq    uint64
 	epool  []*Event // dead events recycled by At (see Event doc)
+
+	// LP bookkeeping. The kernel owns the contiguous LP range
+	// [lpBase, lpBase+lpCount); curLP tracks which LP's code is
+	// executing (the running proc's LP, or a firing event's exec LP) and
+	// keys every event the code creates. oseq holds one creation counter
+	// per owned LP: each LP executes identically under any shard count,
+	// so the counters — and with them every event key — are globally
+	// consistent.
+	lpBase, lpCount int32
+	netLP           int32
+	curLP           int32
+	oseq            []uint64
 
 	procs []*Proc
 	ready procRing // FIFO
 	alive int
+
+	// Sharding. A standalone kernel has coord == nil and runs the legacy
+	// single-heap loop. Under a sharded Coordinator, windowed is true for
+	// shard kernels: schedule stops at horizon and reports the window's
+	// end on winDone instead of terminating, and cross-shard AtOn calls
+	// buffer into outbox (drained by the coordinator at barriers).
+	coord     *Coordinator
+	kidx      int
+	windowed  bool
+	horizon   Time
+	lookahead Duration
+	outbox    [][]outEvent
+	winDone   chan int
+
+	// watchdogAt aborts the run when the next live event would fire at
+	// or past it while procs are still alive (see SetWatchdog).
+	watchdogAt Time
 
 	// mainWake resumes Kernel.Run when the simulation terminates
 	// (completion, deadlock, or proc panic), and serves as the unwind
@@ -140,29 +225,30 @@ type Kernel struct {
 	shuttingDown bool  // exit paths hand back to shutdown(), not schedule()
 	termErr      error // deadlock error, nil on clean completion
 	failure      error // first proc panic, aborts the run
-	abortErr     error // watchdog verdict, picked up by the schedule loop
 	diag         func() string
 
-	// Stats counts scheduler activity; useful in tests and reports.
-	// ContextSwitch counts actual goroutine handoffs of the run token.
-	// The previous two-hop scheduler (proc -> kernel goroutine -> proc)
-	// paid two switches per scheduling decision and reported one;
-	// direct handoff pays one, and zero when a proc resumes itself
-	// (sleep/yield fast paths), so the reported count now matches what
-	// the host actually pays.
-	Stats struct {
-		Events        uint64
-		ContextSwitch uint64
-		// HeapHighWater is the largest number of events pending at once —
-		// the scheduler's memory footprint peak. A host-side counter only;
-		// tracking it cannot affect virtual time.
-		HeapHighWater uint64
+	Stats KernelStats
+}
+
+// newKernel builds a kernel owning LPs [lpBase, lpBase+lpCount) in a
+// simulation whose shared network LP is netLP.
+func newKernel(lpBase, lpCount, netLP int) *Kernel {
+	return &Kernel{
+		mainWake:   make(chan struct{}, 1),
+		lpBase:     int32(lpBase),
+		lpCount:    int32(lpCount),
+		netLP:      int32(netLP),
+		curLP:      int32(lpBase),
+		oseq:       make([]uint64, lpCount),
+		horizon:    maxTime,
+		watchdogAt: maxTime,
 	}
 }
 
-// NewKernel returns an empty kernel at virtual time zero.
+// NewKernel returns an empty standalone kernel at virtual time zero, with
+// a single logical process.
 func NewKernel() *Kernel {
-	return &Kernel{mainWake: make(chan struct{}, 1)}
+	return newKernel(0, 1, 0)
 }
 
 // Now returns the current virtual time.
@@ -171,10 +257,61 @@ func (k *Kernel) Now() Time { return k.now }
 // NumProcs returns the number of spawned procs.
 func (k *Kernel) NumProcs() int { return len(k.procs) }
 
+// Started reports whether Run (or the owning coordinator's Run) has
+// begun.
+func (k *Kernel) Started() bool { return k.started }
+
+// NetLP returns the LP id of the simulation's shared network domain (the
+// kernel's own LP for standalone kernels).
+func (k *Kernel) NetLP() int { return int(k.netLP) }
+
+// Lookahead returns the conservative cross-LP latency bound the owning
+// coordinator synchronizes with (0 for standalone kernels).
+func (k *Kernel) Lookahead() Duration { return k.lookahead }
+
+func (k *Kernel) owns(lp int32) bool {
+	return lp >= k.lpBase && lp < k.lpBase+k.lpCount
+}
+
+// nextPrio assigns the next event key tiebreaker for events created by
+// origin: the LP id in the high bits (offset by one so that a
+// coordinator-issued key with origin -1 would sort before everything at
+// its instant) and the LP's private creation counter below.
+func (k *Kernel) nextPrio(origin int32) uint64 {
+	i := origin - k.lpBase
+	k.oseq[i]++
+	return uint64(origin+1)<<44 | k.oseq[i]
+}
+
+// push allocates (or recycles) an event and inserts it into the heap.
+func (k *Kernel) push(at Time, prio uint64, exec int32, fn func()) *Event {
+	var e *Event
+	if n := len(k.epool); n > 0 {
+		e = k.epool[n-1]
+		k.epool[n-1] = nil
+		k.epool = k.epool[:n-1]
+		*e = Event{at: at, prio: prio, exec: exec, fn: fn}
+	} else {
+		e = &Event{at: at, prio: prio, exec: exec, fn: fn}
+	}
+	k.events.push(e)
+	if n := uint64(k.events.len()); n > k.Stats.HeapHighWater {
+		k.Stats.HeapHighWater = n
+	}
+	return e
+}
+
+// inject merges a cross-shard event (drained from a source kernel's
+// outbox) into this kernel's heap. Called only by the coordinator at
+// window barriers, when no shard is executing.
+func (k *Kernel) inject(o outEvent) {
+	k.push(o.at, o.prio, o.exec, o.fn)
+}
+
 // At schedules fn to run in kernel context when the virtual clock reaches
-// t. Scheduling in the past (t < Now) is clamped to Now, which makes the
-// event fire before any later-scheduled work. The returned Event may be
-// cancelled.
+// t, on the current LP. Scheduling in the past (t < Now) is clamped to
+// Now, which makes the event fire before any later-scheduled work. The
+// returned Event may be cancelled.
 //
 // Event objects are pooled: a handle is valid until the event fires or,
 // if cancelled, until the kernel discards it, after which the object may
@@ -185,21 +322,56 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	if t < k.now {
 		t = k.now
 	}
-	k.seq++
-	var e *Event
-	if n := len(k.epool); n > 0 {
-		e = k.epool[n-1]
-		k.epool[n-1] = nil
-		k.epool = k.epool[:n-1]
-		*e = Event{at: t, seq: k.seq, fn: fn}
-	} else {
-		e = &Event{at: t, seq: k.seq, fn: fn}
+	return k.push(t, k.nextPrio(k.curLP), k.curLP, fn)
+}
+
+// AtOn schedules fn to run at t as LP lp, which may live on another
+// shard. No Event handle is returned: a cross-shard event cannot be
+// cancelled or rescheduled by its creator.
+//
+// Before Run, lp must be owned by this kernel and the event is keyed by
+// the target LP itself, so pre-run setup (fault plans, watchdogs)
+// produces identical event keys under every shard count. During the run,
+// a cross-LP event whose target is not the network LP must fire at least
+// the coordinator's lookahead into the future — that bound is what lets
+// shards run a whole time window without observing each other.
+func (k *Kernel) AtOn(lp int, t Time, fn func()) {
+	l := int32(lp)
+	if t < k.now {
+		t = k.now
 	}
-	k.events.push(e)
-	if n := uint64(k.events.len()); n > k.Stats.HeapHighWater {
-		k.Stats.HeapHighWater = n
+	if !k.started {
+		if !k.owns(l) {
+			panic(fmt.Sprintf("sim: pre-run AtOn(%d) on kernel owning [%d,%d)", lp, k.lpBase, k.lpBase+k.lpCount))
+		}
+		k.push(t, k.nextPrio(l), l, fn)
+		return
 	}
-	return e
+	if k.lookahead > 0 && l != k.curLP && l != k.netLP && t < k.now.Add(k.lookahead) {
+		panic(fmt.Sprintf("sim: cross-LP event %d->%d at t=%v violates lookahead %v (now %v)",
+			k.curLP, l, t, k.lookahead, k.now))
+	}
+	if k.owns(l) {
+		k.push(t, k.nextPrio(k.curLP), l, fn)
+		return
+	}
+	k.coord.route(k, outEvent{at: t, prio: k.nextPrio(k.curLP), exec: l, fn: fn})
+}
+
+// AfterOn schedules fn to run d from now as LP lp (see AtOn). Negative d
+// is treated as zero.
+func (k *Kernel) AfterOn(lp int, d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.AtOn(lp, k.now.Add(d), fn)
+}
+
+// AfterNet schedules fn to run d from now on the shared network LP.
+// Zero-delay injection into the network domain is always legal: the
+// network phase of every time window runs after all shard phases.
+func (k *Kernel) AfterNet(d Duration, fn func()) {
+	k.AfterOn(int(k.netLP), d, fn)
 }
 
 // recycle returns a dead (fired or discarded-cancelled) event to the
@@ -209,10 +381,14 @@ func (k *Kernel) recycle(e *Event) {
 	k.epool = append(k.epool, e)
 }
 
-// popEvent removes and returns the earliest live event, discarding (and
-// recycling) cancelled ones. Returns nil when no live event remains.
-func (k *Kernel) popEvent() *Event {
+// popEventBefore removes and returns the earliest live event firing
+// before limit, discarding (and recycling) cancelled ones. Returns nil
+// when no live event remains below the limit.
+func (k *Kernel) popEventBefore(limit Time) *Event {
 	for k.events.len() > 0 {
+		if k.events.a[0].at >= limit {
+			return nil
+		}
 		e := k.events.pop()
 		if !e.cancelled {
 			return e
@@ -222,15 +398,28 @@ func (k *Kernel) popEvent() *Event {
 	return nil
 }
 
+// nextLiveAt discards cancelled events from the top of the heap and
+// returns the first live event's instant without removing it.
+func (k *Kernel) nextLiveAt() (Time, bool) {
+	for k.events.len() > 0 {
+		e := k.events.a[0].ev
+		if !e.cancelled {
+			return e.at, true
+		}
+		k.recycle(k.events.pop())
+	}
+	return 0, false
+}
+
 // Reschedule moves a pending event to fire at t instead, keeping its
 // callback. It is exactly equivalent to cancelling e and scheduling a
-// fresh event with At — the event is re-keyed with the next sequence
-// number, so its ordering relative to every other event is identical —
-// but it updates the heap in place instead of leaving a cancelled
-// tombstone behind. Callers that adjust event times in bulk (the flow
-// scheduler re-fits completion times after every rate change) must use
-// this: with 10k concurrent flows, cancel-and-replace made five of every
-// six heap entries garbage and tripled the heap's depth.
+// fresh event with At — the event is re-keyed with the current LP's next
+// creation counter, so its ordering relative to every other event is
+// identical — but it updates the heap in place instead of leaving a
+// cancelled tombstone behind. Callers that adjust event times in bulk
+// (the flow scheduler re-fits completion times after every rate change)
+// must use this: with 10k concurrent flows, cancel-and-replace made five
+// of every six heap entries garbage and tripled the heap's depth.
 //
 // e must be pending: not nil, not cancelled, not yet fired.
 func (k *Kernel) Reschedule(e *Event, t Time) {
@@ -240,8 +429,7 @@ func (k *Kernel) Reschedule(e *Event, t Time) {
 	if t < k.now {
 		t = k.now
 	}
-	k.seq++
-	k.events.update(e, t, k.seq)
+	k.events.update(e, t, k.nextPrio(k.curLP))
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -258,14 +446,14 @@ func (k *Kernel) After(d Duration, fn func()) *Event {
 func (k *Kernel) SetDiagnostic(fn func() string) { k.diag = fn }
 
 // SetWatchdog arms a virtual-time deadline: if any proc is still alive
-// when the clock reaches d, the run aborts with a *WatchdogError naming
-// every blocked proc instead of simulating a wedged workload forever.
-// A run that completes before the deadline is unaffected — except that,
-// because the armed watchdog is itself a pending event, a genuine global
-// deadlock is reported at the deadline (as a WatchdogError) rather than
-// the instant it occurs. d <= 0 is a no-op; the watchdog is off by
-// default and adds no per-step cost either way. Must be called before
-// Run.
+// when the next live event would fire at or past it, the run aborts with
+// a *WatchdogError naming every blocked proc instead of simulating a
+// wedged workload forever. A run that completes before the deadline is
+// unaffected, and a genuine global deadlock before the deadline is also
+// reported as a WatchdogError (the deadline is the verdict the caller
+// asked for). The deadline is a bound checked at event pops, not a
+// pending event, so it never advances the clock. d <= 0 is a no-op; the
+// watchdog is off by default. Must be called before Run.
 func (k *Kernel) SetWatchdog(d Duration) {
 	if k.started {
 		panic("sim: SetWatchdog after Run")
@@ -273,33 +461,38 @@ func (k *Kernel) SetWatchdog(d Duration) {
 	if d <= 0 {
 		return
 	}
-	deadline := k.now.Add(d)
-	k.At(deadline, func() {
-		if k.alive == 0 {
-			return // everything finished; let the run complete cleanly
-		}
-		next := "none"
-		if at, ok := k.events.peekAt(); ok {
-			next = fmt.Sprintf("t=%v", at)
-		}
-		e := &WatchdogError{Deadline: deadline, Blocked: k.blockedDump(), NextEvent: next}
-		if k.diag != nil {
-			e.Diag = k.diag()
-		}
-		k.abortErr = e
-	})
+	k.watchdogAt = k.now.Add(d)
 }
 
-// Spawn registers a new proc running body. It must be called before Run
-// (procs spawning procs is not supported; MPI-style workloads spawn the
-// whole world up front).
+// watchdogErr builds the abort verdict for an expired watchdog.
+func (k *Kernel) watchdogErr(next string) *WatchdogError {
+	e := &WatchdogError{Deadline: k.watchdogAt, Blocked: k.blockedDump(), NextEvent: next}
+	if k.diag != nil {
+		e.Diag = k.diag()
+	}
+	return e
+}
+
+// Spawn registers a new proc running body on the kernel's first LP. It
+// must be called before Run (procs spawning procs is not supported;
+// MPI-style workloads spawn the whole world up front).
 func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
+	return k.SpawnOn(int(k.lpBase), name, body)
+}
+
+// SpawnOn registers a new proc running body as LP lp, which must be
+// owned by this kernel.
+func (k *Kernel) SpawnOn(lp int, name string, body func(*Proc)) *Proc {
 	if k.started {
 		panic("sim: Spawn after Run")
+	}
+	if !k.owns(int32(lp)) {
+		panic(fmt.Sprintf("sim: SpawnOn(%d) on kernel owning [%d,%d)", lp, k.lpBase, k.lpBase+k.lpCount))
 	}
 	p := &Proc{
 		k:    k,
 		id:   len(k.procs),
+		lp:   int32(lp),
 		name: name,
 		// Buffered: the handing-off goroutine deposits the token and
 		// returns to its own wait without rendezvousing, so a wakeup
@@ -336,7 +529,7 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 				return
 			}
 			// Direct handoff: the exiting proc runs the scheduler and
-			// passes the token to the next proc (or ends the run).
+			// passes the token to the next proc (or ends the run/window).
 			k.schedule(nil)
 		}()
 		if p.killed {
@@ -348,8 +541,10 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 }
 
 // Run drives the simulation until every proc has finished and no live
-// events remain. It returns a *DeadlockError if procs are stuck, or a
-// *PanicError if a proc panicked. Run may only be called once.
+// events remain. It returns a *DeadlockError if procs are stuck, a
+// *WatchdogError if the armed deadline expired, or a *PanicError if a
+// proc panicked. Run may only be called once, and not on a kernel owned
+// by a sharded Coordinator (use Coordinator.Run).
 //
 // Run is only a bootstrap/teardown shell: it hands the token to the first
 // proc and sleeps until a token holder declares the run over; scheduling
@@ -357,6 +552,9 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 func (k *Kernel) Run() error {
 	if k.started {
 		panic("sim: Run called twice")
+	}
+	if k.windowed {
+		panic("sim: Run on a sharded kernel; use Coordinator.Run")
 	}
 	k.started = true
 	k.schedule(nil)
@@ -374,12 +572,12 @@ func (k *Kernel) Run() error {
 
 // schedule is the scheduler step, executed inline by the current token
 // holder when it gives up the token: a parking proc, an exiting proc
-// (self == nil), or Run at bootstrap (self == nil). It fires due events
-// until a proc is runnable, then hands the token over. It returns true
-// if self was selected to keep running — the caller continues without
-// any goroutine switch — and false if the token went elsewhere (or the
-// run terminated), in which case a parking caller must wait on its own
-// run channel.
+// (self == nil), a window-driving goroutine, or Run at bootstrap
+// (self == nil). It fires due events until a proc is runnable, then
+// hands the token over. It returns true if self was selected to keep
+// running — the caller continues without any goroutine switch — and
+// false if the token went elsewhere (or the run/window ended), in which
+// case a parking caller must wait on its own run channel.
 //
 // After the `p.run <-` send the caller may execute a few more
 // instructions before blocking, concurrently with the woken proc; it
@@ -388,11 +586,11 @@ func (k *Kernel) Run() error {
 func (k *Kernel) schedule(self *Proc) bool {
 	for {
 		if k.failure != nil {
-			k.terminate(nil)
-			return false
-		}
-		if k.abortErr != nil {
-			k.terminate(k.abortErr)
+			if k.windowed {
+				k.endWindow()
+			} else {
+				k.terminate(nil)
+			}
 			return false
 		}
 		if k.ready.len() > 0 {
@@ -401,6 +599,7 @@ func (k *Kernel) schedule(self *Proc) bool {
 				continue
 			}
 			p.state = stateRunning
+			k.curLP = p.lp
 			if p == self {
 				return true
 			}
@@ -408,19 +607,64 @@ func (k *Kernel) schedule(self *Proc) bool {
 			p.run <- struct{}{}
 			return false
 		}
-		e := k.popEvent()
+		e := k.popEventBefore(k.horizon)
 		if e == nil {
-			if k.alive == 0 {
+			if k.windowed {
+				// The window is exhausted; the coordinator decides what
+				// happens next (another window, termination, a verdict).
+				k.endWindow()
+				return false
+			}
+			switch {
+			case k.alive == 0:
 				k.terminate(nil) // clean completion
-			} else {
+			case k.watchdogAt < maxTime:
+				k.terminate(k.watchdogErr("none"))
+			default:
 				k.terminate(k.deadlock())
 			}
 			return false
+		}
+		if e.at >= k.watchdogAt {
+			if k.alive > 0 {
+				k.terminate(k.watchdogErr(fmt.Sprintf("t=%v", e.at)))
+				return false
+			}
+			// Everything finished before the deadline: disarm and drain.
+			k.watchdogAt = maxTime
 		}
 		if e.at > k.now {
 			k.now = e.at
 		}
 		k.Stats.Events++
+		k.curLP = e.exec
+		fn := e.fn
+		k.recycle(e)
+		fn()
+	}
+}
+
+// endWindow reports this shard's window as exhausted to the coordinator.
+// Called exactly once per window, by whichever token holder runs out of
+// work below the horizon.
+func (k *Kernel) endWindow() {
+	k.winDone <- k.kidx
+}
+
+// runWindow executes this kernel's events below the horizon inline on
+// the calling goroutine. Used by the coordinator for the network kernel,
+// which has events but no procs.
+func (k *Kernel) runWindow() {
+	for {
+		e := k.popEventBefore(k.horizon)
+		if e == nil {
+			return
+		}
+		if e.at > k.now {
+			k.now = e.at
+		}
+		k.Stats.Events++
+		k.curLP = e.exec
 		fn := e.fn
 		k.recycle(e)
 		fn()
@@ -459,8 +703,9 @@ func (k *Kernel) blockedDump() []string {
 }
 
 // shutdown unwinds every parked proc so no goroutines leak after a failed
-// run. It runs on the Run goroutine, which holds the token once terminate
-// has fired; unwinding procs hand back via mainWake, not the scheduler.
+// run. It runs on the Run goroutine (or the coordinator), which holds the
+// token once the run is over; unwinding procs hand back via mainWake, not
+// the scheduler.
 func (k *Kernel) shutdown() {
 	k.shuttingDown = true
 	for _, p := range k.procs {
@@ -543,19 +788,24 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	k := p.k
-	// Zero-handoff fast path: if no proc is ready and no event precedes
-	// this proc's own wakeup, the wakeup is by construction the next
-	// thing to happen (it would carry the highest sequence number, so
-	// any event at the same instant fires first — hence the strict >).
+	// Zero-handoff fast path: if no proc is ready, no event precedes
+	// this proc's own wakeup, and the wakeup lands inside the current
+	// window and watchdog deadline, the wakeup is by construction the
+	// next thing to happen (it would carry the highest creation counter,
+	// so any event at the same instant fires first — hence the strict >).
 	// Advance the clock and keep running: no event scheduled, no park,
 	// no goroutine switch. Common in per-hop pipelined loops where one
-	// rank repeatedly sleeps for transfer or overhead durations.
+	// rank repeatedly sleeps for transfer or overhead durations. Events
+	// merged from other shards always fire at or past the horizon, so
+	// skipping the heap cannot skip over them.
 	if k.ready.len() == 0 {
 		wakeAt := k.now.Add(d)
-		if at, ok := k.events.peekAt(); !ok || at > wakeAt {
-			k.now = wakeAt
-			k.Stats.Events++ // stands in for the skipped wakeup event
-			return
+		if wakeAt < k.horizon && wakeAt < k.watchdogAt {
+			if at, ok := k.events.peekAt(); !ok || at > wakeAt {
+				k.now = wakeAt
+				k.Stats.Events++ // stands in for the skipped wakeup event
+				return
+			}
 		}
 	}
 	k.After(d, p.wake)

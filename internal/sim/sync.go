@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Signal is a broadcast/wakeup primitive for procs, analogous to a
 // condition variable. Waiters are released in FIFO order, which keeps
@@ -173,4 +176,359 @@ func (w *WaitGroup) Wait(p *Proc, why string) {
 	for w.n > 0 {
 		w.sig.Wait(p, why)
 	}
+}
+
+// Coordinator partitions one simulation's logical processes — one LP per
+// node plus one for the shared network — across shard kernels and runs
+// them in parallel under a conservative time-window protocol. With
+// shards=1 it degenerates to a single kernel running the classic serial
+// loop; with shards>1 each shard kernel runs its window on its own
+// goroutine. Either way the simulation's behavior is bit-identical: event
+// keys are (at, origin LP, per-LP counter) in both modes, LP state is
+// disjoint, and no callback may touch another LP's state, so pop order —
+// and therefore every simulated outcome — does not depend on the shard
+// count.
+//
+// The synchronization scheme is the textbook conservative one: no shard
+// may execute past the earliest instant at which another shard could
+// still send it work. Cross-shard events (other than into the network LP)
+// must fire at least `lookahead` after their creation — in this codebase
+// the inter-node wire latency, which every cross-node interaction pays —
+// so all kernels can safely run to horizon = (earliest pending instant) +
+// lookahead before exchanging outboxes at a barrier. The network LP runs
+// single-threaded between shard phases: zero-delay injection into it is
+// always legal because its window fires after every shard's.
+type Coordinator struct {
+	nodes     int
+	shards    int
+	lookahead Duration
+	sharded   bool
+
+	kernels []*Kernel // shard kernels; single mode: exactly one, == netK
+	netK    *Kernel
+	shardOf []int32 // node LP -> shard index (sharded mode only)
+
+	// watchdogAt and diag mirror Kernel.SetWatchdog/SetDiagnostic at the
+	// coordinator level for sharded runs (the verdict is reached at a
+	// window barrier, where only the coordinator has the global view).
+	watchdogAt Time
+	diag       func() string
+
+	winStart []chan Time // per-shard window-open signal (carries horizon)
+	winDone  chan int    // shard -> coordinator window-exhausted signal
+
+	started bool
+}
+
+// NewCoordinator builds the kernels for a simulation with the given
+// number of node LPs, split across shards. lookahead is the conservative
+// bound on cross-node latency (the inter-node wire latency): a
+// non-positive lookahead admits no safe window, so shards is forced to 1.
+// shards is clamped to [1, nodes].
+func NewCoordinator(nodes, shards int, lookahead Duration) *Coordinator {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if shards < 1 || lookahead <= 0 {
+		shards = 1
+	}
+	if shards > nodes {
+		shards = nodes
+	}
+	c := &Coordinator{nodes: nodes, shards: shards, lookahead: lookahead, watchdogAt: maxTime}
+	netLP := nodes
+	if shards == 1 {
+		// Single-kernel mode: one kernel owns every node LP and the
+		// network LP, and runs the classic serial loop. The lookahead is
+		// still recorded so that code paths parameterized by it (and the
+		// cross-LP timing assertion) behave identically to sharded runs.
+		k := newKernel(0, nodes+1, netLP)
+		k.lookahead = lookahead
+		c.kernels = []*Kernel{k}
+		c.netK = k
+		return c
+	}
+	c.sharded = true
+	c.shardOf = make([]int32, nodes)
+	c.winStart = make([]chan Time, shards)
+	c.winDone = make(chan int, shards)
+	c.kernels = make([]*Kernel, shards)
+	for i := 0; i < shards; i++ {
+		base := i * nodes / shards
+		end := (i + 1) * nodes / shards
+		k := newKernel(base, end-base, netLP)
+		k.lookahead = lookahead
+		k.coord = c
+		k.kidx = i
+		k.windowed = true
+		k.winDone = c.winDone
+		k.outbox = make([][]outEvent, shards+1)
+		c.kernels[i] = k
+		c.winStart[i] = make(chan Time, 1)
+		for n := base; n < end; n++ {
+			c.shardOf[n] = int32(i)
+		}
+	}
+	c.netK = newKernel(netLP, 1, netLP)
+	c.netK.lookahead = lookahead
+	c.netK.coord = c
+	c.netK.kidx = shards
+	c.netK.outbox = make([][]outEvent, shards+1)
+	return c
+}
+
+// Nodes returns the number of node LPs.
+func (c *Coordinator) Nodes() int { return c.nodes }
+
+// Shards returns the effective shard count (after clamping).
+func (c *Coordinator) Shards() int { return c.shards }
+
+// Lookahead returns the conservative cross-node latency bound.
+func (c *Coordinator) Lookahead() Duration { return c.lookahead }
+
+// KernelFor returns the kernel owning the given node LP.
+func (c *Coordinator) KernelFor(node int) *Kernel {
+	if !c.sharded {
+		return c.kernels[0]
+	}
+	return c.kernels[c.shardOf[node]]
+}
+
+// NetKernel returns the kernel owning the shared network LP (the single
+// kernel itself when not sharded).
+func (c *Coordinator) NetKernel() *Kernel { return c.netK }
+
+// ownerIdx maps an LP to its owner's index in the drain order: shard
+// index for node LPs, shards for the network LP.
+func (c *Coordinator) ownerIdx(lp int32) int {
+	if lp == int32(c.nodes) {
+		return c.shards
+	}
+	return int(c.shardOf[lp])
+}
+
+// route buffers a cross-kernel event into the source kernel's
+// per-destination outbox. The event's key was already assigned by the
+// source LP, so drain order cannot affect where it sorts.
+func (c *Coordinator) route(src *Kernel, o outEvent) {
+	i := c.ownerIdx(o.exec)
+	src.outbox[i] = append(src.outbox[i], o)
+}
+
+// drain merges a kernel's buffered cross-shard events into their
+// destination heaps. Called only at window barriers, when no shard is
+// executing.
+func (c *Coordinator) drain(k *Kernel) {
+	for idx, list := range k.outbox {
+		if len(list) == 0 {
+			continue
+		}
+		dst := c.netK
+		if idx < c.shards {
+			dst = c.kernels[idx]
+		}
+		for i := range list {
+			dst.inject(list[i])
+			list[i].fn = nil
+		}
+		k.outbox[idx] = list[:0]
+	}
+}
+
+// SetWatchdog arms a virtual-time deadline for the whole simulation (see
+// Kernel.SetWatchdog). Must be called before Run.
+func (c *Coordinator) SetWatchdog(d Duration) {
+	if c.started {
+		panic("sim: SetWatchdog after Run")
+	}
+	if !c.sharded {
+		c.kernels[0].SetWatchdog(d)
+		return
+	}
+	if d <= 0 {
+		return
+	}
+	c.watchdogAt = Time(0).Add(d)
+}
+
+// SetDiagnostic installs a workload-level dump appended to deadlock and
+// watchdog reports (see Kernel.SetDiagnostic).
+func (c *Coordinator) SetDiagnostic(fn func() string) {
+	if !c.sharded {
+		c.kernels[0].SetDiagnostic(fn)
+		return
+	}
+	c.diag = fn
+}
+
+// Now returns the simulation's current virtual time: the furthest any
+// kernel has advanced. After Run returns it is the instant the last
+// event fired, matching the serial kernel's clock.
+func (c *Coordinator) Now() Time {
+	t := c.netK.now
+	for _, k := range c.kernels {
+		if k.now > t {
+			t = k.now
+		}
+	}
+	return t
+}
+
+// Stats returns scheduler counters aggregated across all kernels. Events
+// is identical for every shard count of the same simulation;
+// ContextSwitch and HeapHighWater depend on the partitioning (but are
+// deterministic for a fixed shard count).
+func (c *Coordinator) Stats() KernelStats {
+	var s KernelStats
+	for _, k := range c.kernels {
+		s.add(k.Stats)
+	}
+	if c.sharded {
+		s.add(c.netK.Stats)
+	}
+	return s
+}
+
+// NumProcs returns the number of spawned procs across all kernels.
+func (c *Coordinator) NumProcs() int {
+	n := 0
+	for _, k := range c.kernels {
+		n += len(k.procs)
+	}
+	return n
+}
+
+// Run drives the simulation to completion and returns what Kernel.Run
+// would: nil, *DeadlockError, *WatchdogError, or *PanicError. In sharded
+// mode it executes the window protocol: pick the horizon (earliest
+// pending instant anywhere plus the lookahead, capped at the watchdog
+// deadline), let every shard run its events and procs below it in
+// parallel, exchange cross-shard events at the barrier, run the network
+// LP's window inline, repeat.
+func (c *Coordinator) Run() error {
+	if c.started {
+		panic("sim: Coordinator.Run called twice")
+	}
+	c.started = true
+	if !c.sharded {
+		return c.kernels[0].Run()
+	}
+	for _, k := range c.kernels {
+		k.started = true
+	}
+	c.netK.started = true
+	for i := range c.kernels {
+		k, ch := c.kernels[i], c.winStart[i]
+		go func() {
+			for h := range ch {
+				k.horizon = h
+				k.schedule(nil)
+			}
+		}()
+	}
+	defer func() {
+		for _, ch := range c.winStart {
+			close(ch)
+		}
+	}()
+	for {
+		// Window base: the earliest instant at which anything can happen —
+		// the earliest live event anywhere, or the clock of a shard that
+		// still has ready procs (only possible before the first window;
+		// windows end with empty ready queues).
+		base := maxTime
+		alive := 0
+		for _, k := range c.kernels {
+			if at, ok := k.nextLiveAt(); ok && at < base {
+				base = at
+			}
+			if k.ready.len() > 0 && k.now < base {
+				base = k.now
+			}
+			alive += k.alive
+		}
+		if at, ok := c.netK.nextLiveAt(); ok && at < base {
+			base = at
+		}
+		if base == maxTime {
+			switch {
+			case alive == 0:
+				return nil // clean completion
+			case c.watchdogAt < maxTime:
+				return c.fail(c.watchdogErr("none"))
+			default:
+				return c.fail(c.deadlockErr())
+			}
+		}
+		if base >= c.watchdogAt {
+			if alive > 0 {
+				return c.fail(c.watchdogErr(fmt.Sprintf("t=%v", base)))
+			}
+			c.watchdogAt = maxTime // all procs finished; drain freely
+		}
+		h := base.Add(c.lookahead)
+		if h <= base {
+			h = maxTime // overflow guard
+		}
+		if h > c.watchdogAt {
+			h = c.watchdogAt
+		}
+		// Phase 1: every shard runs its window in parallel.
+		for _, ch := range c.winStart {
+			ch <- h
+		}
+		for range c.kernels {
+			<-c.winDone
+		}
+		for _, k := range c.kernels {
+			if k.failure != nil {
+				return c.fail(k.failure)
+			}
+		}
+		for _, k := range c.kernels {
+			c.drain(k)
+		}
+		// Phase 2: the network LP's window, single-threaded. Runs after
+		// the shard phase so zero-delay shard->net injection is legal;
+		// net->node events pay the lookahead, so anything it creates for
+		// the shards lands at or past h.
+		c.netK.horizon = h
+		c.netK.runWindow()
+		c.drain(c.netK)
+	}
+}
+
+// fail tears down every shard kernel's parked procs and returns err.
+func (c *Coordinator) fail(err error) error {
+	for _, k := range c.kernels {
+		k.shutdown()
+	}
+	return err
+}
+
+// blockedAll merges every shard's blocked-proc dump, sorted for stable
+// reports.
+func (c *Coordinator) blockedAll() []string {
+	var blocked []string
+	for _, k := range c.kernels {
+		blocked = append(blocked, k.blockedDump()...)
+	}
+	sort.Strings(blocked)
+	return blocked
+}
+
+func (c *Coordinator) watchdogErr(next string) *WatchdogError {
+	e := &WatchdogError{Deadline: c.watchdogAt, Blocked: c.blockedAll(), NextEvent: next}
+	if c.diag != nil {
+		e.Diag = c.diag()
+	}
+	return e
+}
+
+func (c *Coordinator) deadlockErr() *DeadlockError {
+	e := &DeadlockError{At: c.Now(), Blocked: c.blockedAll()}
+	if c.diag != nil {
+		e.Diag = c.diag()
+	}
+	return e
 }

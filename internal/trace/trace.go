@@ -53,20 +53,44 @@ type Event struct {
 // Duration returns End - Start.
 func (e Event) Duration() sim.Duration { return e.End.Sub(e.Start) }
 
-// Recorder accumulates events. The zero value records nothing; create one
-// with New. All methods are called from simulation context (single
-// threaded), so no locking is needed.
+// Recorder accumulates events into per-rank buffers. The zero value
+// records nothing; create one with New. Add and the span methods are
+// called from the recorded rank's simulation context: under a sharded
+// kernel different ranks record concurrently, which is race-free because
+// each rank only ever touches its own buffer and stack — provided the
+// slices are pre-sized with Reserve (the MPI world does this), so no
+// append ever grows the outer slices.
 type Recorder struct {
-	events []Event
-	limit  int
-	open   [][]*Span // per-rank stack of open spans (see span.go)
+	perRank [][]Event
+	limit   int
+	open    [][]*Span // per-rank stack of open spans (see span.go)
+
+	// merged caches the canonical global ordering (see Events),
+	// invalidated by length.
+	merged    []Event
+	mergedLen int
 }
 
-// New returns a Recorder that keeps at most limit events (0 = unlimited).
-// Hitting the cap stops recording rather than evicting, so prefixes stay
-// intact for inspection.
+// New returns a Recorder that keeps at most limit events per rank
+// (0 = unlimited). Hitting the cap stops recording on that rank rather
+// than evicting, so prefixes stay intact for inspection.
 func New(limit int) *Recorder {
 	return &Recorder{limit: limit}
+}
+
+// Reserve pre-sizes the recorder for ranks. Required before recording
+// from a sharded simulation (so concurrent ranks never grow the shared
+// outer slices); optional otherwise.
+func (t *Recorder) Reserve(ranks int) {
+	if t == nil {
+		return
+	}
+	for len(t.perRank) < ranks {
+		t.perRank = append(t.perRank, nil)
+	}
+	for len(t.open) < ranks {
+		t.open = append(t.open, nil)
+	}
 }
 
 // Add records one event. Nil receivers and full recorders ignore it, so
@@ -75,7 +99,13 @@ func (t *Recorder) Add(e Event) {
 	if t == nil {
 		return
 	}
-	if t.limit > 0 && len(t.events) >= t.limit {
+	if e.Rank < 0 {
+		panic(fmt.Sprintf("trace: event on rank %d", e.Rank))
+	}
+	for e.Rank >= len(t.perRank) {
+		t.perRank = append(t.perRank, nil)
+	}
+	if t.limit > 0 && len(t.perRank[e.Rank]) >= t.limit {
 		return
 	}
 	if e.End < e.Start {
@@ -84,7 +114,7 @@ func (t *Recorder) Add(e Event) {
 	if e.Phase == "" {
 		e.Phase = t.currentPhase(e.Rank)
 	}
-	t.events = append(t.events, e)
+	t.perRank[e.Rank] = append(t.perRank[e.Rank], e)
 }
 
 // Len returns the number of recorded events.
@@ -92,15 +122,37 @@ func (t *Recorder) Len() int {
 	if t == nil {
 		return 0
 	}
-	return len(t.events)
+	n := 0
+	for _, evs := range t.perRank {
+		n += len(evs)
+	}
+	return n
 }
 
-// Events returns the recorded events in recording order.
+// Events returns the recorded events in the canonical global order:
+// by completion time, ties broken by rank, then per-rank recording
+// order. Each rank records its own events in nondecreasing End order
+// (events are added when they finish), so this order is well defined —
+// and, unlike raw recording order, it is identical for every shard
+// count, because it depends only on virtual timestamps and ranks, not on
+// which kernel interleaving produced them.
 func (t *Recorder) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	return t.events
+	n := t.Len()
+	if t.merged != nil && t.mergedLen == n {
+		return t.merged
+	}
+	out := make([]Event, 0, n)
+	for _, evs := range t.perRank {
+		out = append(out, evs...)
+	}
+	// Stable sort of the rank-major concatenation: ties on End keep
+	// (rank, per-rank recording order), the canonical tiebreak.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].End < out[j].End })
+	t.merged, t.mergedLen = out, n
+	return out
 }
 
 // KindStats summarizes one event kind.

@@ -40,15 +40,43 @@ func TestNilRecorderIsSafe(t *testing.T) {
 }
 
 func TestRecorderLimit(t *testing.T) {
+	// The limit is per rank: rank 0's third event is dropped while
+	// rank 1 keeps recording.
 	r := New(2)
-	for i := 0; i < 5; i++ {
-		r.Add(Event{Rank: i, Kind: KindSend})
+	for i := 0; i < 3; i++ {
+		r.Add(Event{Rank: 0, Kind: KindSend, End: sim.Time(i)})
 	}
-	if r.Len() != 2 {
+	r.Add(Event{Rank: 1, Kind: KindSend})
+	if r.Len() != 3 {
 		t.Fatalf("limit ignored: %d events", r.Len())
 	}
-	if r.Events()[0].Rank != 0 || r.Events()[1].Rank != 1 {
-		t.Fatal("limit must keep the prefix")
+	evs := r.Events()
+	if evs[0].Rank != 0 || evs[1].Rank != 1 || evs[2].Rank != 0 {
+		t.Fatalf("limit must keep each rank's prefix: %+v", evs)
+	}
+}
+
+func TestEventsCanonicalOrder(t *testing.T) {
+	// Events merge by (End, rank, per-rank recording order) regardless
+	// of the order ranks recorded them in.
+	r := New(0)
+	r.Add(Event{Rank: 1, Kind: KindSend, End: 50})
+	r.Add(Event{Rank: 0, Kind: KindSend, End: 10})
+	r.Add(Event{Rank: 1, Kind: KindSend, End: 50})
+	r.Add(Event{Rank: 0, Kind: KindSend, End: 50})
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	evs := r.Events()
+	want := []struct {
+		rank int
+		end  sim.Time
+	}{{0, 10}, {0, 50}, {1, 50}, {1, 50}}
+	for i, w := range want {
+		if evs[i].Rank != w.rank || evs[i].End != w.end {
+			t.Fatalf("event %d = rank %d end %v, want rank %d end %v",
+				i, evs[i].Rank, evs[i].End, w.rank, w.end)
+		}
 	}
 }
 
