@@ -34,13 +34,15 @@ ci: lint vet race racecheck perfcheck faultsmoke fuzz cover
 perfcheck:
 	$(GO) run ./cmd/dpml-bench -perf -quick -baseline BENCH_sim.json -o /dev/null
 
-# racecheck reruns the kernel and MPI test packages under the race
-# detector with the event kernel split across four shards. Plain `race`
-# covers host-side parallelism (the sweep pool); this covers sim-side
-# parallelism — window barriers, cross-shard outboxes, the net kernel —
-# where a missing happens-before edge would corrupt virtual time itself.
+# racecheck reruns the kernel, fabric, and MPI test packages under the
+# race detector with the event kernel split across four shards and the
+# network kernel's water-fill on two workers. Plain `race` covers
+# host-side parallelism (the sweep pool); this covers sim-side
+# parallelism — window barriers, cross-shard outboxes, the net kernel,
+# the component-parallel fill — where a missing happens-before edge
+# would corrupt virtual time itself.
 racecheck:
-	DPML_SHARDS=4 $(GO) test -race -count=1 ./internal/sim/ ./internal/mpi/
+	DPML_SHARDS=4 DPML_NET_SHARDS=2 $(GO) test -race -count=1 ./internal/sim/ ./internal/fabric/ ./internal/mpi/
 
 # faultsmoke runs the fault-injection and watchdog tests twice (-count=2):
 # every fault class against a design (bench fault matrix), graceful SHArP

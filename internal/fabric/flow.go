@@ -16,6 +16,7 @@ package fabric
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dpml/internal/sim"
 )
@@ -37,8 +38,10 @@ type Link struct {
 
 	// water-filling scratch state, valid only within one recompute
 	mark     uint64
-	residual float64
+	share    float64 // this iteration's fair share (residual / unfrozen)
 	unfrozen int
+	comp     int32 // component id during discovery (provisional, then dense)
+	binds    bool  // marked binding in the current fill iteration
 }
 
 // NewLink returns a link with the given capacity in bytes/sec.
@@ -125,20 +128,36 @@ type flow struct {
 	lastSettle sim.Time
 	onDone     func()
 	event      *sim.Event
-	frozen     bool // scratch state for water-filling
-	done       bool // completed; awaiting compaction
+	frozen     bool  // scratch state for water-filling
+	done       bool  // completed; awaiting compaction
+	comp       int32 // component id during discovery (provisional, then dense)
+}
+
+// component is one connected component of the flow-link bipartite graph:
+// a set of flows and the links they (transitively) share. Max-min fair
+// rates in one component are independent of every other component — the
+// only exact decomposition of the fill — so components are the unit of
+// parallel recomputation. Flow and link lists preserve the canonical
+// global orders (n.active order; first-touch link order), so the fill's
+// floating-point arithmetic does not depend on how components are grouped
+// or which worker computes them.
+type component struct {
+	flows []*flow
+	links []*Link
 }
 
 // FlowNet owns the set of active flows and keeps their rates max-min fair.
 // All methods must be called from simulation context (a running proc or an
 // event callback).
 type FlowNet struct {
-	k      *sim.Kernel
-	active []*flow // live flows plus tombstones awaiting compaction
-	live   int     // live entries in active
-	dirty  bool
-	gen    uint64  // water-filling generation stamp
-	lbuf   []*Link // scratch: links touched by the current fill
+	k       *sim.Kernel
+	workers int     // host goroutines for the component fill (see SetWorkers)
+	active  []*flow // live flows plus tombstones awaiting compaction
+	live    int     // live entries in active
+	dirty   bool
+	gen     uint64      // water-filling generation stamp
+	uf      []int32     // scratch: union-find over provisional component ids
+	comps   []component // scratch: per-component flow/link buckets, reused
 	// Stats counts scheduler work for tests and reports.
 	Stats struct {
 		Started   uint64
@@ -147,13 +166,32 @@ type FlowNet struct {
 		// FastPath counts completions that skipped the settle-and-refill
 		// recompute because no link the flow crossed was a bottleneck.
 		FastPath uint64
+		// MaxComponents is the largest number of independent link
+		// components any single recompute saw — the available water-fill
+		// parallelism (1 means the whole net is one coupled component).
+		MaxComponents uint64
 	}
 }
 
 // NewFlowNet returns an empty flow scheduler bound to the kernel.
 func NewFlowNet(k *sim.Kernel) *FlowNet {
-	return &FlowNet{k: k}
+	return &FlowNet{k: k, workers: 1}
 }
+
+// SetWorkers sets how many host goroutines recompute may use to
+// water-fill independent link components concurrently (the -netshards
+// knob). Components share no state and their arithmetic is canonical, so
+// the results are bit-identical at every worker count — w only decides
+// wall-clock parallelism. w < 1 is clamped to 1 (serial).
+func (n *FlowNet) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	n.workers = w
+}
+
+// Workers returns the configured water-fill worker count.
+func (n *FlowNet) Workers() int { return n.workers }
 
 // Active returns the number of in-flight flows.
 func (n *FlowNet) Active() int { return n.live }
@@ -257,32 +295,51 @@ func (n *FlowNet) complete(f *flow) {
 	}
 }
 
+// parallelFillMin is the flow-population floor below which recompute
+// stays serial even when workers > 1: goroutine handoff costs more than
+// a small fill, and tiny populations rarely split into many components.
+const parallelFillMin = 48
+
 // recompute settles progress, water-fills rates, and reschedules
-// completion events for every active flow.
+// completion events for every active flow. The settle and fill run per
+// connected component of the flow-link graph — components share no state
+// and use canonical arithmetic (see fillComponent), so striding them
+// across workers changes wall-clock only, never a single bit of output.
 func (n *FlowNet) recompute() {
 	n.Stats.Recompute++
 	n.compact()
-	now := n.k.Now()
-	for _, f := range n.active {
-		if dt := now.Sub(f.lastSettle); dt > 0 {
-			moved := f.rate * dt.Seconds()
-			if moved > f.remaining {
-				moved = f.remaining
-			}
-			f.remaining -= moved
-			for _, l := range f.links {
-				l.moved += moved
-				l.chargeBusy(f.lastSettle, now)
-			}
-		}
-		f.lastSettle = now
-		f.frozen = false
-		f.prevRate = f.rate
-		f.rate = 0
+	if n.live == 0 {
+		return
 	}
-
-	n.waterFill()
-
+	now := n.k.Now()
+	count := n.findComponents()
+	if uint64(count) > n.Stats.MaxComponents {
+		n.Stats.MaxComponents = uint64(count)
+	}
+	w := n.workers
+	if w > count {
+		w = count
+	}
+	if w > 1 && n.live >= parallelFillMin {
+		var wg sync.WaitGroup
+		for i := 1; i < w; i++ {
+			wg.Add(1)
+			go func(start int) {
+				defer wg.Done()
+				for j := start; j < count; j += w {
+					n.fillComponent(&n.comps[j], now)
+				}
+			}(i)
+		}
+		for j := 0; j < count; j += w {
+			n.fillComponent(&n.comps[j], now)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < count; i++ {
+			n.fillComponent(&n.comps[i], now)
+		}
+	}
 	n.reschedule(now)
 }
 
@@ -331,63 +388,197 @@ func (n *FlowNet) reschedule(now sim.Time) {
 	}
 }
 
-// waterFill assigns max-min fair rates. Each iteration finds the tightest
-// constraint — a link's fair share or a flow's own cap — and freezes every
-// flow bound by it; symmetric collective traffic typically converges in
-// one or two iterations. Link-resident scratch state (stamped by a
-// generation counter) keeps the fill allocation-free and linear per
-// iteration.
-func (n *FlowNet) waterFill() {
-	if len(n.active) == 0 {
-		return
+// ufFind resolves a provisional component id to its root with path
+// halving. Entries may hold ^denseID (negative) once the root has been
+// claimed during the remap pass; those stop the walk and carry the dense
+// id forward, so halving across them is still sound.
+func ufFind(uf []int32, x int32) int32 {
+	for uf[x] >= 0 && uf[x] != x {
+		if p := uf[uf[x]]; p >= 0 {
+			uf[x] = p
+		}
+		x = uf[x]
 	}
+	return x
+}
+
+// findComponents partitions the live flows and their links into connected
+// components of the flow-link bipartite graph and buckets them into
+// n.comps, returning the component count. Two flows land in the same
+// component iff they transitively share a link — exactly the set whose
+// max-min fair rates are coupled — so filling components independently is
+// an exact decomposition, not an approximation.
+//
+// Numbering and bucket order are canonical: dense component ids are
+// assigned in first-appearance order over n.active, each component's
+// flows preserve n.active order, and its links preserve global
+// first-touch order. Every downstream float sum therefore runs in the
+// same order regardless of how many components exist or which worker
+// fills them.
+func (n *FlowNet) findComponents() int {
+	// Pass 1: union-find over provisional ids. Links are stamped, then
+	// compacted once per recompute here (see Link.compact).
 	n.gen++
-	links := n.lbuf[:0]
+	uf := n.uf[:0]
 	for _, f := range n.active {
+		root := int32(-1)
 		for _, l := range f.links {
 			if l.mark != n.gen {
 				l.mark = n.gen
-				l.residual = l.capacity
-				l.unfrozen = 0
 				l.compact()
-				links = append(links, l)
+				l.comp = -1
+			}
+			if l.comp < 0 {
+				continue
+			}
+			r := ufFind(uf, l.comp)
+			if root < 0 || r == root {
+				root = r
+			} else if r < root {
+				uf[root] = r
+				root = r
+			} else {
+				uf[r] = root
+			}
+		}
+		if root < 0 {
+			root = int32(len(uf))
+			uf = append(uf, root)
+		}
+		f.comp = root
+		for _, l := range f.links {
+			if l.comp < 0 {
+				l.comp = root
+			}
+		}
+	}
+
+	// Pass 2: resolve roots to dense ids (claimed roots store ^denseID in
+	// place) and bucket flows and links per component.
+	n.gen++
+	count := int32(0)
+	for _, f := range n.active {
+		r := ufFind(uf, f.comp)
+		var id int32
+		if uf[r] < 0 {
+			id = ^uf[r]
+		} else {
+			id = count
+			uf[r] = ^count
+			count++
+			if int(id) == len(n.comps) {
+				n.comps = append(n.comps, component{})
+			}
+			n.comps[id].flows = n.comps[id].flows[:0]
+			n.comps[id].links = n.comps[id].links[:0]
+		}
+		f.comp = id
+		c := &n.comps[id]
+		c.flows = append(c.flows, f)
+		for _, l := range f.links {
+			if l.mark != n.gen {
+				l.mark = n.gen
+				l.unfrozen = 0
+				l.comp = id
+				c.links = append(c.links, l)
 			}
 			l.unfrozen++
 		}
 	}
-	n.lbuf = links
+	n.uf = uf
+	return int(count)
+}
 
-	freeze := func(f *flow, rate float64) {
-		f.frozen = true
-		f.rate = rate
-		for _, l := range f.links {
-			l.residual -= rate
-			if l.residual < 0 {
-				l.residual = 0
+// fillComponent settles elapsed progress, water-fills rates, and refreshes
+// bottleneck flags for one component. Safe to run concurrently with other
+// components: every flow belongs to exactly one component and every link's
+// flows all share that component, so the touched state is disjoint.
+func (n *FlowNet) fillComponent(c *component, now sim.Time) {
+	for _, f := range c.flows {
+		if dt := now.Sub(f.lastSettle); dt > 0 {
+			moved := f.rate * dt.Seconds()
+			if moved > f.remaining {
+				moved = f.remaining
 			}
-			l.unfrozen--
+			f.remaining -= moved
+			for _, l := range f.links {
+				l.moved += moved
+				l.chargeBusy(f.lastSettle, now)
+			}
 		}
+		f.lastSettle = now
+		f.frozen = false
+		f.prevRate = f.rate
+		f.rate = 0
 	}
 
-	unfrozen := len(n.active)
+	n.waterFill(c)
+
+	// Record which links this fill saturated. Completions on links with
+	// spare capacity take the incremental fast path (see complete). The
+	// tolerance errs toward "bottleneck": misflagging a saturated link as
+	// free would skip a required recompute, while the reverse only costs
+	// a redundant one.
+	for _, l := range c.links {
+		used := 0.0
+		for _, f := range l.flows {
+			used += f.rate
+		}
+		l.bottleneck = l.capacity-used <= l.capacity*1e-6
+	}
+}
+
+// waterFill assigns max-min fair rates within one component. Each
+// iteration recomputes every link's fair share from scratch — residual
+// capacity summed over the link's frozen flows in list order, divided by
+// its unfrozen count — then freezes the tightest constraint: flows whose
+// own cap binds first, otherwise the flows of every link whose share sits
+// at the minimum, each frozen at its own link's share.
+//
+// The from-scratch share and freeze-at-own-share rules are what make the
+// fill canonical: a frozen rate is always either f.cap or a share computed
+// purely from that link's flow list, never a value imported from another
+// link or component. The minimum share only decides *when* a flow freezes,
+// not the value it freezes at, so running a component alone produces
+// bit-identical rates to running it inside a global fill (up to exact-tie
+// grouping, which the tolerances below make consistent either way).
+// Symmetric collective traffic typically converges in one or two
+// iterations.
+func (n *FlowNet) waterFill(c *component) {
+	unfrozen := len(c.flows)
 	const eps = 1e-9
 	for unfrozen > 0 {
-		// Tightest link fair share.
+		// Recompute each link's fair share and find the tightest.
 		share := math.Inf(1)
-		for _, l := range links {
+		for _, l := range c.links {
 			if l.unfrozen == 0 {
 				continue
 			}
-			if s := l.residual / float64(l.unfrozen); s < share {
-				share = s
+			used := 0.0
+			for _, f := range l.flows {
+				if f.frozen {
+					used += f.rate
+				}
+			}
+			r := l.capacity - used
+			if r < 0 {
+				r = 0
+			}
+			l.share = r / float64(l.unfrozen)
+			if l.share < share {
+				share = l.share
 			}
 		}
 		// Flows whose own cap binds before the link share freeze at
 		// their cap, freeing capacity for the rest.
 		capFroze := false
-		for _, f := range n.active {
+		for _, f := range c.flows {
 			if !f.frozen && f.cap <= share+eps {
-				freeze(f, f.cap)
+				f.frozen = true
+				f.rate = f.cap
+				for _, l := range f.links {
+					l.unfrozen--
+				}
 				unfrozen--
 				capFroze = true
 			}
@@ -395,23 +586,27 @@ func (n *FlowNet) waterFill() {
 		if capFroze {
 			continue
 		}
-		// Otherwise bottleneck links bind. Every link whose fair share
-		// sits at the minimum freezes its flows at that share in one
-		// pass — consistent because they all bind at the same value
-		// (freezing shared flows at exactly the share preserves the
-		// remaining links' shares).
+		// Otherwise bottleneck links bind. Snapshot the binding set
+		// before freezing anything — freezing mutates unfrozen counts,
+		// and membership must not depend on within-pass order — then
+		// freeze each binding link's flows at that link's own share.
+		for _, l := range c.links {
+			l.binds = l.unfrozen > 0 && l.share <= share*(1+1e-9)+eps
+		}
 		froze := false
-		for _, l := range links {
-			if l.unfrozen == 0 {
+		for _, l := range c.links {
+			if !l.binds {
 				continue
 			}
-			if l.residual/float64(l.unfrozen) <= share*(1+1e-9)+eps {
-				for _, f := range l.flows {
-					if !f.frozen {
-						freeze(f, share)
-						unfrozen--
-						froze = true
+			for _, f := range l.flows {
+				if !f.frozen {
+					f.frozen = true
+					f.rate = l.share
+					for _, fl := range f.links {
+						fl.unfrozen--
 					}
+					unfrozen--
+					froze = true
 				}
 			}
 		}
@@ -419,14 +614,5 @@ func (n *FlowNet) waterFill() {
 			// Numerically impossible, but never spin.
 			panic("fabric: water-filling found no binding constraint")
 		}
-	}
-
-	// Record which links this fill saturated. Completions on links with
-	// spare capacity take the incremental fast path (see complete). The
-	// tolerance errs toward "bottleneck": misflagging a saturated link as
-	// free would skip a required recompute, while the reverse only costs
-	// a redundant one.
-	for _, l := range links {
-		l.bottleneck = l.residual <= l.capacity*1e-6
 	}
 }

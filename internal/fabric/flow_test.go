@@ -383,7 +383,10 @@ func TestWaterFillInvariants(t *testing.T) {
 			}
 			n.active = append(n.active, f)
 		}
-		n.waterFill()
+		comps := n.findComponents()
+		for ci := 0; ci < comps; ci++ {
+			n.waterFill(&n.comps[ci])
+		}
 		const eps = 1e-3
 		for _, l := range links {
 			sum := 0.0

@@ -39,7 +39,17 @@ type Network struct {
 	flows *FlowNet
 	prof  topology.NetProfile
 	nodes [][]*hca // [node][hca]
-	core  *Link    // nil when the core is not a modelled bottleneck
+
+	// The oversubscribed core is modelled per leaf subtree: each subtree
+	// owns an uplink/downlink pair into the core sized by its node count
+	// and the oversubscription ratio. Traffic between nodes under the
+	// same leaf never crosses the core (it turns around at the leaf
+	// switch), so single-subtree jobs see no core stage at all. Both
+	// slices are nil when the core is not a modelled bottleneck
+	// (Oversubscription <= 1).
+	sub    *topology.SubtreeMap
+	coreUp []*Link // [subtree] uplink into the core
+	coreDn []*Link // [subtree] downlink out of the core
 
 	// Stats counts message-level activity. Owned by the network LP.
 	Stats struct {
@@ -86,12 +96,21 @@ func NewNetwork(coord *sim.Coordinator, flows *FlowNet, c *topology.Cluster, nod
 		}
 		n.nodes[i] = hcas
 	}
+	n.sub = topology.LeafSubtrees(nodes, c.Net.LeafRadix)
 	if over := c.Net.Oversubscription; over > 1 {
-		agg := c.Net.LinkBandwidth * float64(nodes*c.HCAs) / over
-		n.core = NewLink("core", agg)
+		n.coreUp = make([]*Link, n.sub.Count)
+		n.coreDn = make([]*Link, n.sub.Count)
+		for s := 0; s < n.sub.Count; s++ {
+			agg := c.Net.LinkBandwidth * float64(n.sub.Size(s)*c.HCAs) / over
+			n.coreUp[s] = NewLink(fmt.Sprintf("sub%d.core.up", s), agg)
+			n.coreDn[s] = NewLink(fmt.Sprintf("sub%d.core.down", s), agg)
+		}
 	}
 	return n
 }
+
+// Subtrees returns the leaf-subtree partition the network was built with.
+func (n *Network) Subtrees() *topology.SubtreeMap { return n.sub }
 
 // Profile returns the interconnect parameters in force.
 func (n *Network) Profile() topology.NetProfile { return n.prof }
@@ -201,9 +220,13 @@ func (n *Network) launch(src, dst *Endpoint, bytes int64, onArrive, onSent func(
 			n.k.AfterOn(src.node, wire, onSent)
 		}
 	}
-	if n.core != nil {
-		n.flows.Start(bytes, unlimited, done, src.tx, su.up, n.core, dd.down, dst.rx)
-		return
+	if n.coreUp != nil {
+		ss, ds := n.sub.Of[src.node], n.sub.Of[dst.node]
+		if ss != ds {
+			n.flows.Start(bytes, unlimited, done,
+				src.tx, su.up, n.coreUp[ss], n.coreDn[ds], dd.down, dst.rx)
+			return
+		}
 	}
 	n.flows.Start(bytes, unlimited, done, src.tx, su.up, dd.down, dst.rx)
 }
@@ -328,8 +351,8 @@ func (n *Network) InjectReports() []InjectReport {
 	return out
 }
 
-// Report returns per-link activity for every NIC link (and the core
-// stage, if modelled), in node/HCA order.
+// Report returns per-link activity for every NIC link (and the
+// per-subtree core stage, if modelled), in node/HCA then subtree order.
 func (n *Network) Report() []LinkReport {
 	var out []LinkReport
 	for _, hcas := range n.nodes {
@@ -337,8 +360,8 @@ func (n *Network) Report() []LinkReport {
 			out = append(out, report(h.up), report(h.down))
 		}
 	}
-	if n.core != nil {
-		out = append(out, report(n.core))
+	for s := range n.coreUp {
+		out = append(out, report(n.coreUp[s]), report(n.coreDn[s]))
 	}
 	return out
 }

@@ -130,22 +130,29 @@ func TestInjectDelayEnforcesMessageGap(t *testing.T) {
 
 func TestOversubscribedCoreBottleneck(t *testing.T) {
 	// Cluster D has a 5/4 oversubscribed core. With every node blasting
-	// full-rate traffic, the aggregate must be limited by core capacity.
+	// full-rate traffic at the opposite leaf subtree, the aggregate must
+	// be limited by the per-subtree core capacity. (The leaf radix is
+	// pinned to half the job so all traffic crosses the core; same-leaf
+	// traffic legitimately never sees it.)
 	c := topology.ClusterD()
 	const nodes = 8
+	c.Net.LeafRadix = nodes / 2
 	k, _, net := newTestNet(c, nodes)
-	if net.core == nil {
+	if net.coreUp == nil {
 		t.Fatal("cluster D network must model an oversubscribed core")
+	}
+	if got := net.Subtrees().Count; got != 2 {
+		t.Fatalf("subtrees = %d, want 2", got)
 	}
 	const bytes = 4 << 20
 	k.Spawn("driver", func(p *sim.Proc) {
 		var wg sim.WaitGroup
-		// node i -> node (i+1)%nodes, 2 sender processes each to stress
-		// the core
+		// node i -> node (i+nodes/2)%nodes, 2 sender processes each, so
+		// every flow crosses both subtrees' core links
 		for i := 0; i < nodes; i++ {
 			for j := 0; j < 2; j++ {
 				wg.Add(1)
-				net.StartTransfer(net.Endpoint(i, 0), net.Endpoint((i+1)%nodes, 0), bytes, func() { wg.Done() })
+				net.StartTransfer(net.Endpoint(i, 0), net.Endpoint((i+nodes/2)%nodes, 0), bytes, func() { wg.Done() })
 			}
 		}
 		wg.Wait(p, "transfers")
@@ -153,6 +160,10 @@ func TestOversubscribedCoreBottleneck(t *testing.T) {
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
+	// Each subtree's core uplink carries half the total at capacity
+	// LinkBandwidth * (nodes/2) / over, so the whole exchange cannot beat
+	// total / (LinkBandwidth * nodes / over) — the same aggregate bound
+	// the lumped-core model enforced.
 	total := float64(nodes * 2 * bytes)
 	coreCap := c.Net.LinkBandwidth * float64(nodes) / c.Net.Oversubscription
 	minTime := sim.DurationOfSeconds(total / coreCap)
@@ -436,10 +447,11 @@ func TestNetworkReport(t *testing.T) {
 	if upBytes != 1<<20 || downBytes != 1<<20 {
 		t.Fatalf("up %d / down %d bytes, want 1MiB each", upBytes, downBytes)
 	}
-	// Cluster D has a core stage.
+	// Cluster D has a core stage: one up/down pair per leaf subtree (2
+	// nodes under one 16-port leaf is a single subtree).
 	_, _, netD := newTestNet(topology.ClusterD(), 2)
-	if got := len(netD.Report()); got != 5 {
-		t.Fatalf("cluster D report has %d links, want 5 (incl. core)", got)
+	if got := len(netD.Report()); got != 6 {
+		t.Fatalf("cluster D report has %d links, want 6 (incl. subtree core pair)", got)
 	}
 }
 

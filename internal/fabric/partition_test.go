@@ -1,0 +1,237 @@
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"dpml/internal/sim"
+)
+
+// refFill is an independent reimplementation of the canonical max-min
+// water-fill on plain slices, always run as ONE global fill with every
+// flow and link together, in global order. It exists so the production
+// per-component fill can be checked against the mathematical definition
+// it claims to decompose: partitioning into connected components must
+// not change a single bit of any rate.
+//
+// caps[i] is flow i's rate ceiling; routes[i] lists the link indices
+// flow i crosses; capacity[l] is link l's capacity. Returns the max-min
+// fair rates.
+func refFill(caps []float64, routes [][]int, capacity []float64) []float64 {
+	nf, nl := len(caps), len(capacity)
+	rates := make([]float64, nf)
+	frozen := make([]bool, nf)
+	// Per-link flow lists in global flow order, like Link.flows.
+	flowsOn := make([][]int, nl)
+	unfrozen := make([]int, nl)
+	for i, r := range routes {
+		for _, l := range r {
+			flowsOn[l] = append(flowsOn[l], i)
+			unfrozen[l]++
+		}
+	}
+	share := make([]float64, nl)
+	binds := make([]bool, nl)
+	left := nf
+	const eps = 1e-9
+	for left > 0 {
+		min := math.Inf(1)
+		for l := 0; l < nl; l++ {
+			if unfrozen[l] == 0 {
+				continue
+			}
+			used := 0.0
+			for _, i := range flowsOn[l] {
+				if frozen[i] {
+					used += rates[i]
+				}
+			}
+			r := capacity[l] - used
+			if r < 0 {
+				r = 0
+			}
+			share[l] = r / float64(unfrozen[l])
+			if share[l] < min {
+				min = share[l]
+			}
+		}
+		capFroze := false
+		for i := 0; i < nf; i++ {
+			if !frozen[i] && caps[i] <= min+eps {
+				frozen[i] = true
+				rates[i] = caps[i]
+				for _, l := range routes[i] {
+					unfrozen[l]--
+				}
+				left--
+				capFroze = true
+			}
+		}
+		if capFroze {
+			continue
+		}
+		for l := 0; l < nl; l++ {
+			binds[l] = unfrozen[l] > 0 && share[l] <= min*(1+1e-9)+eps
+		}
+		froze := false
+		for l := 0; l < nl; l++ {
+			if !binds[l] {
+				continue
+			}
+			for _, i := range flowsOn[l] {
+				if !frozen[i] {
+					frozen[i] = true
+					rates[i] = share[l]
+					for _, ll := range routes[i] {
+						unfrozen[ll]--
+					}
+					left--
+					froze = true
+				}
+			}
+		}
+		if !froze {
+			panic("refFill: no binding constraint")
+		}
+	}
+	return rates
+}
+
+// TestPartitionedFillMatchesGlobalFill generates randomized topologies —
+// many links of random capacity, flows crossing random link subsets with
+// random caps — and checks that the production component-partitioned fill
+// produces rates EXACTLY equal (==, not approximately) to the single
+// global reference fill. Random populations fragment into many
+// components, so this directly exercises the decomposition the netshards
+// parallelism relies on.
+func TestPartitionedFillMatchesGlobalFill(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewFlowNet(k)
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(mod int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int(rng>>33) % mod
+	}
+	maxComps := 0
+	for trial := 0; trial < 80; trial++ {
+		nLinks := 2 + next(30)
+		capacity := make([]float64, nLinks)
+		links := make([]*Link, nLinks)
+		for l := range links {
+			capacity[l] = float64(1+next(40)) * 0.25e9
+			links[l] = NewLink(fmt.Sprintf("t%d.l%d", trial, l), capacity[l])
+		}
+		nFlows := 1 + next(120)
+		caps := make([]float64, nFlows)
+		routes := make([][]int, nFlows)
+		n.active = n.active[:0]
+		n.live = 0
+		for i := 0; i < nFlows; i++ {
+			caps[i] = float64(1+next(16)) * 0.125e9
+			f := &flow{cap: caps[i], remaining: 1e6}
+			used := map[int]bool{}
+			for j := 0; j <= next(3); j++ {
+				li := next(nLinks)
+				if used[li] {
+					continue
+				}
+				used[li] = true
+				f.links = append(f.links, links[li])
+				routes[i] = append(routes[i], li)
+			}
+			if len(f.links) == 0 {
+				f.links = append(f.links, links[i%nLinks])
+				routes[i] = append(routes[i], i%nLinks)
+			}
+			for _, l := range f.links {
+				l.addFlow(f)
+			}
+			n.active = append(n.active, f)
+			n.live++
+		}
+
+		comps := n.findComponents()
+		if comps > maxComps {
+			maxComps = comps
+		}
+		for ci := 0; ci < comps; ci++ {
+			n.waterFill(&n.comps[ci])
+		}
+		want := refFill(caps, routes, capacity)
+		for i, f := range n.active {
+			// The decomposition claim is bitwise equality, not tolerance.
+			if math.Float64bits(f.rate) != math.Float64bits(want[i]) {
+				t.Fatalf("trial %d (%d comps): flow %d rate %v, want %v (diff %g)",
+					trial, comps, i, f.rate, want[i], f.rate-want[i])
+			}
+		}
+	}
+	if maxComps < 4 {
+		t.Fatalf("largest trial had %d components; generator must produce fragmented topologies", maxComps)
+	}
+}
+
+// TestFillWorkerCountInvariance runs a full simulation — hundreds of
+// flows started and completing across virtual time, enough to engage the
+// parallel fill path — and digests every completion instant. The digest
+// must be identical for every worker count: netshards is wall-clock-only
+// by construction, and this pins it end to end through recompute,
+// reschedule, and the completion fast path.
+func TestFillWorkerCountInvariance(t *testing.T) {
+	digest := func(workers int) string {
+		rng := uint64(7)
+		next := func(mod int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return int(rng>>33) % mod
+		}
+		k := sim.NewKernel()
+		n := NewFlowNet(k)
+		n.SetWorkers(workers)
+		const nLinks = 40
+		links := make([]*Link, nLinks)
+		for l := range links {
+			links[l] = NewLink(fmt.Sprintf("l%d", l), float64(1+next(8))*1e9)
+		}
+		h := sha256.New()
+		k.Spawn("driver", func(p *sim.Proc) {
+			var wg sim.WaitGroup
+			const nFlows = 300
+			wg.Add(nFlows)
+			for i := 0; i < nFlows; i++ {
+				route := []*Link{links[next(nLinks)]}
+				if extra := next(nLinks); extra != 0 && links[extra] != route[0] {
+					route = append(route, links[extra])
+				}
+				id := uint64(i)
+				n.Start(int64(1+next(1<<22)), float64(1+next(10))*0.5e9, func() {
+					var b [16]byte
+					binary.LittleEndian.PutUint64(b[:8], id)
+					binary.LittleEndian.PutUint64(b[8:], uint64(k.Now()))
+					h.Write(b[:])
+					wg.Done()
+				}, route...)
+				// Stagger start instants so flows overlap in shifting sets.
+				if i%7 == 0 {
+					p.Sleep(sim.Duration(1 + next(50_000)))
+				}
+			}
+			wg.Wait(p, "flows")
+		})
+		if err := k.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n.Stats.MaxComponents < 2 {
+			t.Fatalf("workers=%d: MaxComponents=%d, workload must fragment", workers, n.Stats.MaxComponents)
+		}
+		return fmt.Sprintf("%x", h.Sum(nil))
+	}
+	want := digest(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := digest(w); got != want {
+			t.Errorf("workers=%d digest %s != serial %s", w, got, want)
+		}
+	}
+}

@@ -37,13 +37,14 @@ var (
 // first-hop latency — which is what makes the model safe under a sharded
 // kernel without any shard observing another.
 type Sharp struct {
-	k      *sim.Kernel // the network LP's kernel
-	prof   topology.SharpProfile
-	link   float64 // leaf injection rate, bytes/sec
-	groups int
-	slots  int        // free outstanding-operation slots (fabric-wide)
-	waitq  []*sharpOp // operations waiting for a slot, FIFO
-	failed bool       // offload outage in force (see SetFailed)
+	k         *sim.Kernel // the network LP's kernel
+	prof      topology.SharpProfile
+	link      float64 // leaf injection rate, bytes/sec
+	leafRadix int     // fabric leaf radix; shards each group's fold tree
+	groups    int
+	slots     int        // free outstanding-operation slots (fabric-wide)
+	waitq     []*sharpOp // operations waiting for a slot, FIFO
+	failed    bool       // offload outage in force (see SetFailed)
 }
 
 // NewSharp builds the SHArP model for a cluster, or returns
@@ -54,10 +55,11 @@ func NewSharp(k *sim.Kernel, c *topology.Cluster) (*Sharp, error) {
 		return nil, ErrSharpUnavailable
 	}
 	return &Sharp{
-		k:     k,
-		prof:  c.Sharp,
-		link:  c.Net.LinkBandwidth,
-		slots: c.Sharp.MaxOutstanding,
+		k:         k,
+		prof:      c.Sharp,
+		link:      c.Net.LinkBandwidth,
+		leafRadix: c.Net.LeafRadix,
+		slots:     c.Sharp.MaxOutstanding,
 	}, nil
 }
 
@@ -143,7 +145,12 @@ func (s *Sharp) NewGroup(nodes, leadersPerNode int) (*SharpGroup, error) {
 		return nil, fmt.Errorf("fabric: SHArP group with %d nodes x %d leaders", nodes, leadersPerNode)
 	}
 	s.groups++
-	return &SharpGroup{sharp: s, nodes: nodes, members: nodes * leadersPerNode}, nil
+	return &SharpGroup{
+		sharp:   s,
+		nodes:   nodes,
+		members: nodes * leadersPerNode,
+		sub:     topology.LeafSubtrees(nodes, s.leafRadix),
+	}, nil
 }
 
 // Groups returns the number of live SHArP groups.
@@ -155,7 +162,8 @@ type SharpGroup struct {
 	sharp   *Sharp
 	nodes   int
 	members int
-	cur     *sharpOp // operation currently collecting arrivals (network LP)
+	sub     *topology.SubtreeMap // leaf subtrees sharding the fold tree
+	cur     *sharpOp             // operation currently collecting arrivals (network LP)
 
 	// Stats counts operations through this group. Owned by the network
 	// LP (incremented at launch).
@@ -174,14 +182,19 @@ type sharpCall struct {
 }
 
 // sharpOp is one collective operation's state, owned by the network LP.
-// Arrivals fold contributions in arrival-event order — a canonical order
-// (virtual time, then arriving node, then creation sequence), so the
-// floating-point fold is identical for every shard count.
+// The fold tree is sharded by leaf subtree, matching the switch hardware:
+// each leaf switch reduces its own nodes' contributions first (parts[s],
+// folded in arrival-event order — a canonical order of virtual time, then
+// arriving node, then creation sequence), and the upper tree combines the
+// per-subtree partials in subtree-id order at launch. Both orders are
+// independent of the shard and netshard counts, so the floating-point
+// fold is identical across every execution configuration.
 type sharpOp struct {
 	group   *SharpGroup
 	bytes   int
 	arrived int
-	acc     any
+	parts   []any // per-subtree partial accumulators
+	reduce  func(acc, x any) any
 	calls   []*sharpCall
 }
 
@@ -228,7 +241,7 @@ func (g *SharpGroup) Allreduce(p *sim.Proc, bytes int, contrib any, reduce func(
 func (g *SharpGroup) arrive(call *sharpCall, bytes int, contrib any, reduce func(acc, x any) any) {
 	s := g.sharp
 	if g.cur == nil {
-		g.cur = &sharpOp{group: g, bytes: bytes}
+		g.cur = &sharpOp{group: g, bytes: bytes, parts: make([]any, g.sub.Count)}
 	}
 	op := g.cur
 	if bytes != op.bytes {
@@ -241,10 +254,15 @@ func (g *SharpGroup) arrive(call *sharpCall, bytes int, contrib any, reduce func
 		return
 	}
 	if reduce != nil && contrib != nil {
-		if op.acc == nil {
-			op.acc = contrib
+		op.reduce = reduce
+		st := 0
+		if call.lp >= 0 && call.lp < len(g.sub.Of) {
+			st = int(g.sub.Of[call.lp])
+		}
+		if op.parts[st] == nil {
+			op.parts[st] = contrib
 		} else {
-			op.acc = reduce(op.acc, contrib)
+			op.parts[st] = reduce(op.parts[st], contrib)
 		}
 	}
 	op.calls = append(op.calls, call)
@@ -260,7 +278,7 @@ func (g *SharpGroup) arrive(call *sharpCall, bytes int, contrib any, reduce func
 		// caller of this operation sees the same verdict — per-caller
 		// checks would diverge, since members arrive at different
 		// virtual times.
-		op.acc = nil
+		op.parts, op.reduce = nil, nil
 		for _, c := range op.calls {
 			c.err = ErrSharpOffline
 			s.notify(c)
@@ -275,14 +293,27 @@ func (g *SharpGroup) arrive(call *sharpCall, bytes int, contrib any, reduce func
 	s.waitq = append(s.waitq, op)
 }
 
-// begin starts a launched operation: every caller learns the result at
-// +OpLatency, and the slot frees at the same instant (releasing the next
-// queued operation, if any). Runs in network-LP context.
+// begin starts a launched operation: the upper tree combines the
+// per-subtree partials in subtree-id order, every caller learns the
+// result at +OpLatency, and the slot frees at the same instant (releasing
+// the next queued operation, if any). Runs in network-LP context.
 func (s *Sharp) begin(op *sharpOp) {
 	op.group.Stats.Ops++
 	d := s.OpLatency(op.group.nodes, op.bytes)
-	result := op.acc
-	op.acc = nil
+	var result any
+	if op.reduce != nil {
+		for _, part := range op.parts {
+			if part == nil {
+				continue
+			}
+			if result == nil {
+				result = part
+			} else {
+				result = op.reduce(result, part)
+			}
+		}
+	}
+	op.parts, op.reduce = nil, nil
 	for _, c := range op.calls {
 		c.result = result
 		c.lpWake(s, d)

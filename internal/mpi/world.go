@@ -67,6 +67,14 @@ type Config struct {
 	// knob trades memory and synchronization overhead for wall-clock
 	// speed only.
 	Shards int
+	// NetShards sets how many OS threads the network LP's flow engine may
+	// use to water-fill independent link components concurrently. The
+	// fabric's link partition itself is derived from the topology (leaf
+	// subtrees), never from this knob, so every netshard count produces
+	// bit-identical results — like Shards, it trades coordination
+	// overhead for wall-clock speed only. Zero uses the process default
+	// (DefaultNetShards); 1 forces the serial fill.
+	NetShards int
 }
 
 // defaultShards is the process-wide shard count used when Config.Shards
@@ -93,11 +101,36 @@ func SetDefaultShards(n int) {
 	defaultShards = n
 }
 
+// defaultNetShards is the process-wide network-shard count used when
+// Config.NetShards is zero, initialized from the DPML_NET_SHARDS
+// environment variable (the CLI tools' -netshards flag overrides it via
+// SetDefaultNetShards).
+var defaultNetShards = func() int {
+	if s := os.Getenv("DPML_NET_SHARDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}()
+
+// DefaultNetShards returns the process-wide default network shard count.
+func DefaultNetShards() int { return defaultNetShards }
+
+// SetDefaultNetShards sets the process-wide default network shard count
+// used by worlds whose Config.NetShards is zero. n < 1 resets to serial.
+func SetDefaultNetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultNetShards = n
+}
+
 // World is one job: the simulated cluster fabric plus one rank per
 // process. Create it with NewWorld, then call Run exactly once.
 type World struct {
 	Job   *topology.Job
-	Flows *fabric.FlowNet      // the network LP's flow engine (wire traffic)
+	Flows *fabric.FlowNet // the network LP's flow engine (wire traffic)
 	Net   *fabric.Network
 	Mem   []*fabric.MemChannel // indexed by node
 	Sharp *fabric.Sharp        // nil when the fabric has no SHArP
@@ -107,8 +140,8 @@ type World struct {
 	cfg      Config
 	ranks    []*Rank
 	world    *Comm
-	rngs     []uint64     // per-rank jitter stream states
-	strag    [][]stragWin // per-rank straggler windows; nil without straggler faults
+	rngs     []uint64                 // per-rank jitter stream states
+	strag    [][]stragWin             // per-rank straggler windows; nil without straggler faults
 	trans    []map[vecShape][]*Vector // per-node free lists for in-flight payload clones (see pool.go)
 
 	// mu guards the communicator registry (nextCID, commCache): runtime
@@ -142,6 +175,11 @@ func NewWorld(job *topology.Job, cfg Config) *World {
 	coord := sim.NewCoordinator(job.NodesUsed, shards, lookahead(job.Cluster))
 	netK := coord.NetKernel()
 	flows := fabric.NewFlowNet(netK)
+	netShards := cfg.NetShards
+	if netShards == 0 {
+		netShards = defaultNetShards
+	}
+	flows.SetWorkers(netShards)
 	w := &World{
 		coord: coord,
 		Job:   job,
@@ -188,6 +226,11 @@ func (w *World) Coordinator() *sim.Coordinator { return w.coord }
 
 // Shards returns the effective kernel shard count in force.
 func (w *World) Shards() int { return w.coord.Shards() }
+
+// NetShards returns the effective network shard (water-fill worker)
+// count in force. Per-node memory flow engines always fill serially:
+// their populations are small and node-local.
+func (w *World) NetShards() int { return w.Flows.Workers() }
 
 // Now returns the simulation's current virtual time (after Run: the
 // instant the last event fired, identical for every shard count).

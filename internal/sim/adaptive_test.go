@@ -1,0 +1,121 @@
+package sim
+
+import "testing"
+
+// TestAdaptiveHorizonSkipsBarriers pins the point of per-kernel horizons:
+// when only one kernel has pending work, it must run arbitrarily far
+// without barriering once per lookahead. Node 0 sleeps 1000 steps of one
+// lookahead each while every other node is idle; the fixed base+L
+// protocol would pay ~1000 window rounds, the adaptive one a handful.
+func TestAdaptiveHorizonSkipsBarriers(t *testing.T) {
+	const (
+		nodes     = 4
+		steps     = 1000
+		lookahead = Duration(100)
+	)
+	co := NewCoordinator(nodes, 2, lookahead)
+	co.KernelFor(0).SpawnOn(0, "worker", func(p *Proc) {
+		for i := 0; i < steps; i++ {
+			p.Sleep(lookahead)
+		}
+	})
+	if err := co.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := co.Now(), Time(0).Add(lookahead*steps); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	if r := co.Rounds(); r > 10 {
+		t.Errorf("adaptive run took %d window rounds; a lone active kernel should need a handful, not ~%d", r, steps)
+	}
+}
+
+// TestAdaptiveHorizonCrossShardAfterRunahead exercises the dangerous case
+// the route-time horizon shrink exists for: a kernel that has run far
+// past every other kernel's clock emits a cross-shard event, and the
+// reply chain must still land in its future. The arrival times must match
+// the serial kernel exactly at every shard count.
+func TestAdaptiveHorizonCrossShardAfterRunahead(t *testing.T) {
+	const (
+		nodes     = 4
+		lookahead = Duration(100)
+	)
+	type rec struct {
+		node int
+		at   Time
+	}
+	run := func(shards int) []rec {
+		co := NewCoordinator(nodes, shards, lookahead)
+		var log []rec
+		// Node 0 runs 500 lookaheads into the future on its own, then
+		// pings node 3 (a different shard at shards>1); node 3 replies.
+		co.KernelFor(0).SpawnOn(0, "runahead", func(p *Proc) {
+			k := co.KernelFor(0)
+			for i := 0; i < 500; i++ {
+				p.Sleep(lookahead)
+			}
+			k.AfterOn(3, lookahead, func() {
+				k3 := co.KernelFor(3)
+				log = append(log, rec{3, k3.Now()})
+				k3.AfterOn(0, lookahead, func() {
+					log = append(log, rec{0, co.KernelFor(0).Now()})
+				})
+			})
+		})
+		if err := co.Run(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return log
+	}
+	want := run(1)
+	if len(want) != 2 {
+		t.Fatalf("serial run logged %d records, want 2", len(want))
+	}
+	for _, shards := range []int{2, 4} {
+		got := run(shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d records, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("shards=%d: record %d = %+v, want %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAdaptiveHorizonNetDrain checks the network kernel's widened phase:
+// once every shard is idle, a chain of net-internal events (the shape of
+// a flow engine draining completions) must finish without one barrier
+// round per lookahead.
+func TestAdaptiveHorizonNetDrain(t *testing.T) {
+	const (
+		nodes     = 4
+		links     = 200
+		lookahead = Duration(100)
+	)
+	co := NewCoordinator(nodes, 2, lookahead)
+	net := co.NetKernel()
+	var fired int
+	var chain func(left int) func()
+	chain = func(left int) func() {
+		return func() {
+			fired++
+			if left > 0 {
+				net.After(lookahead*3, chain(left-1))
+			}
+		}
+	}
+	co.KernelFor(0).SpawnOn(0, "kick", func(p *Proc) {
+		co.KernelFor(0).AfterNet(0, chain(links))
+	})
+	if err := co.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != links+1 {
+		t.Fatalf("fired %d net events, want %d", fired, links+1)
+	}
+	if r := co.Rounds(); r > 10 {
+		t.Errorf("net-internal chain took %d rounds; the net phase should drain it in a handful, not ~%d", r, links)
+	}
+}

@@ -303,8 +303,15 @@ func (k *Kernel) push(at Time, prio uint64, exec int32, fn func()) *Event {
 
 // inject merges a cross-shard event (drained from a source kernel's
 // outbox) into this kernel's heap. Called only by the coordinator at
-// window barriers, when no shard is executing.
+// window barriers, when no shard is executing. An event landing below the
+// destination's clock would mean the window protocol let the destination
+// run past an instant another kernel could still populate — with adaptive
+// horizons that is exactly the invariant route's shrinking maintains, so
+// it is checked here rather than silently clamped.
 func (k *Kernel) inject(o outEvent) {
+	if o.at < k.now {
+		panic(fmt.Sprintf("sim: cross-shard event at t=%v delivered to kernel already at t=%v", o.at, k.now))
+	}
 	k.push(o.at, o.prio, o.exec, o.fn)
 }
 

@@ -194,10 +194,25 @@ func (w *WaitGroup) Wait(p *Proc, why string) {
 // still send it work. Cross-shard events (other than into the network LP)
 // must fire at least `lookahead` after their creation — in this codebase
 // the inter-node wire latency, which every cross-node interaction pays —
-// so all kernels can safely run to horizon = (earliest pending instant) +
-// lookahead before exchanging outboxes at a barrier. The network LP runs
-// single-threaded between shard phases: zero-delay injection into it is
-// always legal because its window fires after every shard's.
+// so all kernels can safely run windows before exchanging outboxes at a
+// barrier. The network LP runs single-threaded between shard phases:
+// zero-delay injection into it is always legal because its window fires
+// after every shard's.
+//
+// Window horizons are adaptive, per kernel. Kernel j's window opens at
+// horizon h_j = min over the other kernels' earliest pending instant t_i,
+// plus the lookahead: nothing another kernel does this window can land in
+// j below that. When j itself emits a cross-kernel event mid-window, its
+// horizon shrinks to the earliest instant a reaction to that event could
+// reach back (route): the event's time plus the lookahead for shard
+// kernels, the event's time itself for the network kernel, whose
+// recipients may inject back with zero delay. A kernel whose peers are
+// all idle therefore runs arbitrarily far between barriers — the fixed
+// base+L horizon barriered ~once per wire latency even when every event
+// was shard-local — while dense cross-shard phases degrade to exactly
+// the fixed-window behavior. The executed prefix of each LP's event
+// sequence is horizon-independent (keys are assigned at creation), so
+// results stay bit-identical; only the barrier count changes.
 type Coordinator struct {
 	nodes     int
 	shards    int
@@ -216,6 +231,9 @@ type Coordinator struct {
 
 	winStart []chan Time // per-shard window-open signal (carries horizon)
 	winDone  chan int    // shard -> coordinator window-exhausted signal
+
+	tbuf   []Time // per-round scratch: each kernel's earliest pending instant
+	rounds uint64 // window barriers executed (see Rounds)
 
 	started bool
 }
@@ -274,6 +292,7 @@ func NewCoordinator(nodes, shards int, lookahead Duration) *Coordinator {
 	c.netK.coord = c
 	c.netK.kidx = shards
 	c.netK.outbox = make([][]outEvent, shards+1)
+	c.tbuf = make([]Time, shards+1)
 	return c
 }
 
@@ -310,9 +329,29 @@ func (c *Coordinator) ownerIdx(lp int32) int {
 // route buffers a cross-kernel event into the source kernel's
 // per-destination outbox. The event's key was already assigned by the
 // source LP, so drain order cannot affect where it sorts.
+//
+// Routing also shrinks the source's own horizon: once src has emitted an
+// event at o.at, a chain of reactions to it can reach back into src as
+// early as o.at + lookahead (the recipient acts at o.at; anything it aims
+// back at src pays the wire). The network kernel's recipients may inject
+// back into it with zero delay, so its bound is o.at itself. Shrinking at
+// emission time is what makes the adaptively widened horizons of Run
+// safe: the static per-window horizon only accounts for events that
+// existed at the barrier, not for consequences of this window's own
+// sends.
 func (c *Coordinator) route(src *Kernel, o outEvent) {
 	i := c.ownerIdx(o.exec)
 	src.outbox[i] = append(src.outbox[i], o)
+	bound := o.at
+	if src != c.netK {
+		bound = o.at.Add(c.lookahead)
+		if bound < o.at {
+			bound = maxTime // overflow guard
+		}
+	}
+	if bound < src.horizon {
+		src.horizon = bound
+	}
 }
 
 // drain merges a kernel's buffered cross-shard events into their
@@ -400,11 +439,13 @@ func (c *Coordinator) NumProcs() int {
 
 // Run drives the simulation to completion and returns what Kernel.Run
 // would: nil, *DeadlockError, *WatchdogError, or *PanicError. In sharded
-// mode it executes the window protocol: pick the horizon (earliest
-// pending instant anywhere plus the lookahead, capped at the watchdog
-// deadline), let every shard run its events and procs below it in
-// parallel, exchange cross-shard events at the barrier, run the network
-// LP's window inline, repeat.
+// mode it executes the window protocol: give every shard kernel its own
+// horizon (the earliest pending instant of any *other* kernel plus the
+// lookahead, capped at the watchdog deadline — see the type comment for
+// why that is safe), let the shards run their events and procs below it
+// in parallel, exchange cross-shard events at the barrier, run the
+// network LP's window inline up to the earliest instant any shard could
+// still inject, repeat.
 func (c *Coordinator) Run() error {
 	if c.started {
 		panic("sim: Coordinator.Run called twice")
@@ -432,24 +473,45 @@ func (c *Coordinator) Run() error {
 		}
 	}()
 	for {
-		// Window base: the earliest instant at which anything can happen —
-		// the earliest live event anywhere, or the clock of a shard that
-		// still has ready procs (only possible before the first window;
-		// windows end with empty ready queues).
-		base := maxTime
+		// Per-kernel earliest pending instant: the earliest live event, or
+		// the clock of a kernel that still has ready procs (only possible
+		// before the first window; windows end with empty ready queues).
+		// The window base — the earliest instant anything can happen
+		// anywhere — drives termination and the watchdog exactly as in the
+		// fixed-horizon protocol.
+		ts := c.tbuf
 		alive := 0
-		for _, k := range c.kernels {
-			if at, ok := k.nextLiveAt(); ok && at < base {
-				base = at
+		for i, k := range c.kernels {
+			t := maxTime
+			if at, ok := k.nextLiveAt(); ok {
+				t = at
 			}
-			if k.ready.len() > 0 && k.now < base {
-				base = k.now
+			if k.ready.len() > 0 && k.now < t {
+				t = k.now
 			}
+			ts[i] = t
 			alive += k.alive
 		}
-		if at, ok := c.netK.nextLiveAt(); ok && at < base {
-			base = at
+		ts[c.shards] = maxTime
+		if at, ok := c.netK.nextLiveAt(); ok {
+			ts[c.shards] = at
 		}
+		// min1/min2: smallest and second-smallest pending instants, so
+		// each kernel's "earliest other" is min1 — or min2 for the unique
+		// holder of min1.
+		min1, min2 := maxTime, maxTime
+		cnt1 := 0
+		for _, t := range ts {
+			switch {
+			case t < min1:
+				min2, min1, cnt1 = min1, t, 1
+			case t == min1:
+				cnt1++
+			case t < min2:
+				min2 = t
+			}
+		}
+		base := min1
 		if base == maxTime {
 			switch {
 			case alive == 0:
@@ -466,15 +528,21 @@ func (c *Coordinator) Run() error {
 			}
 			c.watchdogAt = maxTime // all procs finished; drain freely
 		}
-		h := base.Add(c.lookahead)
-		if h <= base {
-			h = maxTime // overflow guard
-		}
-		if h > c.watchdogAt {
-			h = c.watchdogAt
-		}
-		// Phase 1: every shard runs its window in parallel.
-		for _, ch := range c.winStart {
+		c.rounds++
+		// Phase 1: every shard runs its window in parallel, each up to its
+		// own horizon (dynamically shrunk by route as it emits).
+		for i, ch := range c.winStart {
+			m := min1
+			if ts[i] == min1 && cnt1 == 1 {
+				m = min2
+			}
+			h := m.Add(c.lookahead)
+			if h <= m {
+				h = maxTime // overflow guard (m may be the maxTime sentinel)
+			}
+			if h > c.watchdogAt {
+				h = c.watchdogAt
+			}
 			ch <- h
 		}
 		for range c.kernels {
@@ -489,14 +557,36 @@ func (c *Coordinator) Run() error {
 			c.drain(k)
 		}
 		// Phase 2: the network LP's window, single-threaded. Runs after
-		// the shard phase so zero-delay shard->net injection is legal;
-		// net->node events pay the lookahead, so anything it creates for
-		// the shards lands at or past h.
-		c.netK.horizon = h
+		// the shard phase so zero-delay shard->net injection is legal. Its
+		// horizon is the earliest instant any shard (with this barrier's
+		// deliveries merged) could still act — and therefore still inject
+		// into the network zero-delay; route shrinks it further if the
+		// network itself emits, since its wire events wake nodes that may
+		// inject back at their arrival instant.
+		hn := maxTime
+		for _, k := range c.kernels {
+			if at, ok := k.nextLiveAt(); ok && at < hn {
+				hn = at
+			}
+			if k.ready.len() > 0 && k.now < hn {
+				hn = k.now
+			}
+		}
+		if hn > c.watchdogAt {
+			hn = c.watchdogAt
+		}
+		c.netK.horizon = hn
 		c.netK.runWindow()
 		c.drain(c.netK)
 	}
 }
+
+// Rounds returns the number of window barriers a sharded run has
+// executed — the adaptive-batching effectiveness metric (fixed horizons
+// pay roughly one barrier per lookahead of simulated time; adaptive ones
+// skip barriers whenever cross-shard traffic is sparse). Always 0 in
+// single-kernel mode, which has no barriers.
+func (c *Coordinator) Rounds() uint64 { return c.rounds }
 
 // fail tears down every shard kernel's parked procs and returns err.
 func (c *Coordinator) fail(err error) error {

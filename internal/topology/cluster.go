@@ -55,6 +55,8 @@ func (c *Cluster) Validate() error {
 		return fmt.Errorf("topology: %s: PerFlowCap must be positive", c.Name)
 	case c.Net.EagerThreshold < 0:
 		return fmt.Errorf("topology: %s: EagerThreshold must be >= 0", c.Name)
+	case c.Net.LeafRadix < 0:
+		return fmt.Errorf("topology: %s: LeafRadix must be >= 0", c.Name)
 	case c.Mem.CopyRate <= 0 || c.Mem.CrossSocketRate <= 0 || c.Mem.AggregateBW <= 0:
 		return fmt.Errorf("topology: %s: memory rates must be positive", c.Name)
 	case c.CPU.ReduceRate <= 0:
@@ -126,6 +128,7 @@ func infinibandEDR() NetProfile {
 		MsgGap:           7 * sim.Nanosecond, // ~150 M msg/s NIC rate
 		EagerThreshold:   16 << 10,
 		Oversubscription: 1,
+		LeafRadix:        16, // matches the SHArP aggregation radix
 	}
 }
 
@@ -139,6 +142,7 @@ func omniPath100() NetProfile {
 		MsgGap:           6 * sim.Nanosecond,
 		EagerThreshold:   8 << 10,
 		Oversubscription: 1,
+		LeafRadix:        16, // 48-port leaf switches, 16 node-facing in the 2:1 split
 	}
 }
 
@@ -254,8 +258,32 @@ func ClusterD() *Cluster {
 	}
 }
 
-// ByName returns the cluster with the given short name ("A".."D", case
-// sensitive), or nil if unknown.
+// ClusterE is an extrapolated exascale system the paper could never
+// measure: 4096 Xeon nodes (2 x 14 cores) on InfiniBand EDR behind a
+// 2:1-oversubscribed fat tree of 32-port leaf switches. At 28 ppn a
+// full-system job is 114,688 ranks — the 100k+-rank regime the sharded
+// kernel and the partitioned fabric exist for. Calibration reuses the
+// cluster-B interconnect and memory profiles; only the tree shape is new.
+func ClusterE() *Cluster {
+	net := infinibandEDR()
+	net.Oversubscription = 2 // tapered core: half the leaf uplink capacity
+	net.LeafRadix = 32
+	return &Cluster{
+		Name:           "E-Xeon-IB-exa",
+		Nodes:          4096,
+		Sockets:        2,
+		CoresPerSocket: 14,
+		HCAs:           1,
+		Net:            net,
+		Mem:            xeonMemory(),
+		CPU:            CPUProfile{ReduceRate: 5.2e9},
+		Sharp:          sharpSwitchless(),
+	}
+}
+
+// ByName returns the cluster with the given short name ("A".."E", case
+// sensitive), or nil if unknown. "E" is the extrapolated exascale system,
+// not one of the paper's platforms.
 func ByName(name string) *Cluster {
 	switch name {
 	case "A":
@@ -266,6 +294,8 @@ func ByName(name string) *Cluster {
 		return ClusterC()
 	case "D":
 		return ClusterD()
+	case "E":
+		return ClusterE()
 	}
 	return nil
 }

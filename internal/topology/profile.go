@@ -36,6 +36,15 @@ type NetProfile struct {
 	// (≥ 1); the aggregate core capacity is the sum of node uplinks
 	// divided by this factor. 0 means "no modelled core bottleneck".
 	Oversubscription float64
+	// LeafRadix is the number of node-facing ports on one leaf (edge)
+	// switch of the fat tree. Nodes are cabled to leaf switches in
+	// contiguous blocks of this size, so it determines the canonical
+	// subtree partition used by the fabric layer: flows between nodes
+	// under the same leaf never cross the core, and the oversubscribed
+	// core capacity (when Oversubscription > 1) is split into one
+	// uplink/downlink pair per subtree. 0 means "topology unknown":
+	// the whole job is treated as a single subtree.
+	LeafRadix int
 }
 
 // MemProfile captures the intra-node shared-memory channel. The paper's
