@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint ci perfcheck racecheck faultsmoke fuzz cover bench results perf
+.PHONY: all build test race vet lint ci perfcheck racecheck faultsmoke explorecheck fuzz cover bench results perf
 
 all: build
 
@@ -13,9 +13,9 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo's six invariant analyzers (walltime, globalrand,
-# maprange, spanpair, waitcheck, floateq) over the whole module; it exits
-# non-zero on any finding, including unused //dpml:allow suppressions.
+# lint runs the repo's seven invariant analyzers (walltime, globalrand,
+# maprange, spanpair, waitcheck, floateq, prio) over the whole module; it
+# exits non-zero on any finding, including unused //dpml:allow suppressions.
 lint:
 	$(GO) run ./cmd/dpml-lint ./...
 
@@ -27,9 +27,10 @@ race:
 # -race exercises the parallel paths, not just the serial ones), the
 # sharded-kernel race pass, the simulator-throughput check (the quick
 # perf suite must stay within 30% of the committed BENCH_sim.json on the
-# 64-rank scenarios), the fault-matrix smoke pass, a short fuzz pass over
-# the text parsers, and the coverage summary.
-ci: lint vet race racecheck perfcheck faultsmoke fuzz cover
+# 64-rank scenarios), the fault-matrix smoke pass, the schedule-space
+# exploration pass, a short fuzz pass over the text parsers, and the
+# coverage summary.
+ci: lint vet race racecheck perfcheck faultsmoke explorecheck fuzz cover
 
 perfcheck:
 	$(GO) run ./cmd/dpml-bench -perf -quick -baseline BENCH_sim.json -o /dev/null
@@ -51,6 +52,20 @@ racecheck:
 faultsmoke:
 	$(GO) test -count=2 -run 'Fault|Watchdog|Straggler|Sharp|Spec|Instantiate|Validate|Limited' \
 		./internal/faults/ ./internal/fabric/ ./internal/mpi/ ./internal/core/ ./internal/bench/ ./internal/sweep/
+
+# explorecheck asserts every invariant on every reachable schedule, for
+# every design on both the healthy and a faulted fabric: a systematic
+# (DPOR-lite) pass at 16 ranks that must visit at least 100 distinct
+# schedules per combination, a 32-schedule seeded pass, and a -race
+# rerun of the exploration suite with the event kernel split across
+# four shards (perturbed schedules must stay shard-invariant even under
+# the race detector's scheduling noise).
+explorecheck:
+	$(GO) run ./cmd/dpml-verify -designs all -faults ';all@0.7' -fault-seed 7 \
+		-systematic -max-schedules 200 -min-distinct 100 -o /dev/null
+	$(GO) run ./cmd/dpml-verify -designs all -faults ';all@0.7' -fault-seed 7 \
+		-schedules 32 -explore-seed 1 -o /dev/null
+	DPML_SHARDS=4 DPML_NET_SHARDS=2 $(GO) test -race -count=1 ./internal/explore/
 
 # fuzz gives each fuzz target a short budget. Go runs one fuzz function
 # per invocation, so each gets its own line; seeds in testdata/corpus

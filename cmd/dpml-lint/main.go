@@ -1,5 +1,5 @@
-// dpml-lint runs the repo's six invariant analyzers (walltime,
-// globalrand, maprange, spanpair, waitcheck, floateq) over the module
+// dpml-lint runs the repo's seven invariant analyzers (walltime,
+// globalrand, maprange, spanpair, waitcheck, floateq, prio) over the module
 // and exits non-zero on findings, so CI fails loudly. See
 // internal/lint for what each analyzer proves and CONTRIBUTING.md for
 // the //dpml:allow suppression syntax.

@@ -1,6 +1,6 @@
 // Package lint is the repo's static-analysis framework: a small harness
 // over the standard library's go/ast and go/types (the module is
-// dependency-free, so no x/tools) plus six repo-specific analyzers that
+// dependency-free, so no x/tools) plus seven repo-specific analyzers that
 // prove the simulator's determinism and protocol invariants at compile
 // time. The dynamic counterparts of these invariants — byte-identical
 // results at any worker count, seeded fault plans, the span tiling
@@ -13,6 +13,7 @@
 //   - spanpair: every trace span Begin is End-ed on all paths
 //   - waitcheck: every non-blocking MPI request is waited or discarded
 //   - floateq: no ==/!= on floating-point operands in non-test code
+//   - prio: event tiebreak keys are minted only by Kernel.nextPrio
 //
 // Findings can be suppressed, one line at a time, with a
 // "//dpml:allow <analyzer> -- reason" comment; the driver verifies every
@@ -71,6 +72,7 @@ func Analyzers() []*Analyzer {
 		SpanpairAnalyzer,
 		WaitcheckAnalyzer,
 		FloateqAnalyzer,
+		PrioAnalyzer,
 	}
 }
 

@@ -118,6 +118,7 @@ func TestMaprangeFixture(t *testing.T)   { runFixture(t, "maprange", one(t, "map
 func TestSpanpairFixture(t *testing.T)   { runFixture(t, "spanpair", one(t, "spanpair")) }
 func TestWaitcheckFixture(t *testing.T)  { runFixture(t, "waitcheck", one(t, "waitcheck")) }
 func TestFloateqFixture(t *testing.T)    { runFixture(t, "floateq", one(t, "floateq")) }
+func TestPrioFixture(t *testing.T)       { runFixture(t, "prio", one(t, "prio")) }
 
 // The suppress fixture runs with floateq active: used allowances silence
 // their findings, and unused/unknown/reason-less allowances surface as

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PrioAnalyzer enforces the kernel's tiebreak-minting discipline: every
+// event priority key is minted by Kernel.nextPrio (the only place the
+// (origin+1)<<44 | counter packing may appear) and only ever moves
+// between events, heap slots, and the exploration permutation — never
+// recomputed ad hoc. The schedule-exploration layer depends on this
+// totally: the salted permutation, the TieSwap transpositions, and the
+// schedule digest all treat raw keys as opaque stable identities, so a
+// key fabricated outside nextPrio would silently break shard-count
+// invariance and systematic replay. The analyzer flags, inside
+// internal/sim: the <<44 packing outside nextPrio, assignments or
+// composite-literal fields writing the prio/raw key slots from
+// non-key expressions, and uint64 arguments to push/update that are
+// not minted keys.
+var PrioAnalyzer = &Analyzer{
+	Name: "prio",
+	Doc:  "event tiebreak keys are minted only by Kernel.nextPrio and flow opaquely afterwards",
+	Run:  runPrio,
+}
+
+func runPrio(p *Pass) {
+	if p.Pkg.Path != "dpml/internal/sim" && !strings.HasSuffix(p.Pkg.Path, "testdata/src/prio") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				prioWalk(p, fd.Name.Name, fd.Body)
+				continue
+			}
+			prioWalk(p, "", decl)
+		}
+	}
+}
+
+// prioWalk checks one declaration's body with its enclosing function
+// name ("" for package-level declarations).
+func prioWalk(p *Pass, fn string, root ast.Node) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			if v.Op == token.SHL && isIntLit(v.Y, "44") && fn != "nextPrio" {
+				p.Reportf(v.OpPos, "origin-block packing (<<44) outside Kernel.nextPrio; mint event keys with nextPrio")
+			}
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				name, ok := slotName(lhs)
+				if !ok || !isKeySlot(name) {
+					continue
+				}
+				if !keyShaped(v.Rhs[i]) {
+					p.Reportf(v.Rhs[i].Pos(), "event key slot %q assigned from a non-key expression; keys originate in Kernel.nextPrio and may only pass through permKey", name)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				id, ok := kv.Key.(*ast.Ident)
+				if !ok || !isKeySlot(id.Name) {
+					continue
+				}
+				if !keyShaped(kv.Value) {
+					p.Reportf(kv.Value.Pos(), "event key slot %q initialized from a non-key expression; keys originate in Kernel.nextPrio and may only pass through permKey", id.Name)
+				}
+			}
+		case *ast.CallExpr:
+			callee, ok := slotName(v.Fun)
+			if !ok || (callee != "push" && callee != "update") {
+				return true
+			}
+			for _, arg := range v.Args {
+				if !isUint64(p.Pkg.Info, arg) || keyShaped(arg) {
+					continue
+				}
+				p.Reportf(arg.Pos(), "uint64 argument to %s is not a minted key; pass a value from nextPrio or permKey", callee)
+			}
+		}
+		return true
+	})
+}
+
+// slotName extracts the terminal identifier of an lvalue or callee
+// (x, s.x, pkg.f all yield the final name).
+func slotName(e ast.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name, true
+	case *ast.SelectorExpr:
+		return v.Sel.Name, true
+	}
+	return "", false
+}
+
+// isKeySlot reports whether a name is one of the event-key slots.
+func isKeySlot(name string) bool { return name == "prio" || name == "raw" }
+
+// keyShaped reports whether an expression is a legal source of key
+// material: an existing key (an identifier or field named prio, raw, or
+// key) or a fresh mint / perturbation (a nextPrio or permKey call).
+func keyShaped(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return keyShaped(v.X)
+	case *ast.Ident:
+		return isKeySlot(v.Name) || v.Name == "key"
+	case *ast.SelectorExpr:
+		return isKeySlot(v.Sel.Name) || v.Sel.Name == "key"
+	case *ast.CallExpr:
+		name, ok := slotName(v.Fun)
+		return ok && (name == "nextPrio" || name == "permKey")
+	}
+	return false
+}
+
+// isIntLit reports whether e is the integer literal lit.
+func isIntLit(e ast.Expr, lit string) bool {
+	bl, ok := e.(*ast.BasicLit)
+	return ok && bl.Kind == token.INT && bl.Value == lit
+}
+
+// isUint64 reports whether e's static type is uint64 (the key type; the
+// instant and LP arguments of push/update are distinct types, so only
+// key positions match).
+func isUint64(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}

@@ -1,0 +1,75 @@
+// Fixture for the prio analyzer: a miniature of the kernel's event-key
+// discipline. Keys may be minted only in nextPrio, and the prio/raw
+// slots may only be fed existing keys or nextPrio/permKey results.
+package prio
+
+type Time int64
+
+type Event struct {
+	at   Time
+	prio uint64
+	raw  uint64
+}
+
+type Kernel struct {
+	oseq []uint64
+}
+
+// nextPrio is the one sanctioned minting site: the <<44 packing is
+// legal here and nowhere else.
+func (k *Kernel) nextPrio(origin int32) uint64 {
+	i := int(origin)
+	k.oseq[i]++
+	return uint64(origin+1)<<44 | k.oseq[i]
+}
+
+func (k *Kernel) permKey(at Time, raw uint64, exec int32) uint64 {
+	_ = at
+	_ = exec
+	return raw
+}
+
+func (k *Kernel) push(at Time, prio uint64, exec int32) *Event {
+	key := k.permKey(at, prio, exec)
+	return &Event{at: at, prio: key, raw: prio} // existing keys flow freely
+}
+
+func (k *Kernel) update(e *Event, at Time, prio uint64) {
+	e.at, e.prio = at, prio // moving a key between slots is legal
+}
+
+func (k *Kernel) reschedule(e *Event, t Time) {
+	raw := k.nextPrio(0)
+	e.raw = raw // freshly minted key is legal
+	k.update(e, t, k.permKey(t, raw, 0))
+}
+
+const originBlock = 1 << 44 // want `origin-block packing \(<<44\) outside Kernel\.nextPrio`
+
+func (k *Kernel) forge(origin int32) uint64 {
+	return uint64(origin+1)<<44 | 7 // want `origin-block packing \(<<44\) outside Kernel\.nextPrio`
+}
+
+func (k *Kernel) stampLiteral(e *Event) {
+	e.prio = 99 // want `event key slot "prio" assigned from a non-key expression`
+}
+
+func (k *Kernel) stampArithmetic(e *Event, a, b uint64) {
+	e.raw = a | b // want `event key slot "raw" assigned from a non-key expression`
+}
+
+func (k *Kernel) buildForged(at Time) *Event {
+	return &Event{
+		at:   at,
+		prio: uint64(at) * 3, // want `event key slot "prio" initialized from a non-key expression`
+		raw:  0,              // want `event key slot "raw" initialized from a non-key expression`
+	}
+}
+
+func (k *Kernel) pushForged(at Time) {
+	k.push(at, uint64(at)+1, 0)   // want `uint64 argument to push is not a minted key`
+	k.update(&Event{}, at, 12345) // want `uint64 argument to update is not a minted key`
+	k.push(at, k.nextPrio(0), 0)  // minted at the call site: legal
+	e := k.push(at, k.oseq[0], 0) // want `uint64 argument to push is not a minted key`
+	k.update(e, at, e.prio)       // moving an existing key: legal
+}

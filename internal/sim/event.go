@@ -18,7 +18,12 @@ type Event struct {
 	// bits. Because every LP executes in the same order under any shard
 	// count, the key (at, prio) is a globally consistent total order:
 	// serial and sharded runs pop events identically.
-	prio      uint64
+	prio uint64
+	// raw is the unperturbed (origin, counter) key. It equals prio
+	// except under a schedule-exploration config (see explore.go), when
+	// prio holds the perturbed heap key and raw feeds the schedule
+	// digest so behaviorally identical schedules hash equal.
+	raw       uint64
 	exec      int32 // LP the callback runs as (kernel's curLP during fn)
 	fn        func()
 	cancelled bool

@@ -216,6 +216,18 @@ type Kernel struct {
 	// or past it while procs are still alive (see SetWatchdog).
 	watchdogAt Time
 
+	// Schedule exploration (see explore.go). explore == nil means the
+	// canonical schedule with zero overhead on the hot paths. When set,
+	// push perturbs same-instant tiebreaks through explore.perm, and the
+	// fire loops fold each LP's executed (at, raw) sequence into digest
+	// (plus, when recording, adjacent same-instant pairs into ties). All
+	// arrays are indexed by lp - lpBase.
+	explore *exploreState
+	digest  []uint64
+	lastAt  []Time
+	lastRaw []uint64
+	ties    [][]TiePair
+
 	// mainWake resumes Kernel.Run when the simulation terminates
 	// (completion, deadlock, or proc panic), and serves as the unwind
 	// handshake during shutdown. Buffered so the terminating token
@@ -283,16 +295,38 @@ func (k *Kernel) nextPrio(origin int32) uint64 {
 	return uint64(origin+1)<<44 | k.oseq[i]
 }
 
+// permKey maps an event's raw (origin, counter) key to its heap key:
+// the identity normally, the exploration transform under a config. The
+// explored order is phase-normalized: a network-LP event sorts after
+// every node-LP event at the same instant (bit 63), mirroring the
+// sharded window protocol's node-phase-then-net-phase execution, and
+// keeps its canonical key within the net range; node-LP keys are
+// perturbed through a 63-bit bijection. See the soundness note in
+// explore.go for why both halves are required for shard invariance.
+func (k *Kernel) permKey(at Time, raw uint64, exec int32) uint64 {
+	if k.explore == nil {
+		return raw
+	}
+	if exec == k.netLP {
+		return raw | 1<<63
+	}
+	return k.explore.perm(at, raw)
+}
+
 // push allocates (or recycles) an event and inserts it into the heap.
+// prio is the raw (origin, counter) key minted by nextPrio; under an
+// exploration config the heap key is its perturbed image while raw is
+// kept on the event for digesting (see explore.go).
 func (k *Kernel) push(at Time, prio uint64, exec int32, fn func()) *Event {
+	key := k.permKey(at, prio, exec)
 	var e *Event
 	if n := len(k.epool); n > 0 {
 		e = k.epool[n-1]
 		k.epool[n-1] = nil
 		k.epool = k.epool[:n-1]
-		*e = Event{at: at, prio: prio, exec: exec, fn: fn}
+		*e = Event{at: at, prio: key, raw: prio, exec: exec, fn: fn}
 	} else {
-		e = &Event{at: at, prio: prio, exec: exec, fn: fn}
+		e = &Event{at: at, prio: key, raw: prio, exec: exec, fn: fn}
 	}
 	k.events.push(e)
 	if n := uint64(k.events.len()); n > k.Stats.HeapHighWater {
@@ -436,7 +470,9 @@ func (k *Kernel) Reschedule(e *Event, t Time) {
 	if t < k.now {
 		t = k.now
 	}
-	k.events.update(e, t, k.nextPrio(k.curLP))
+	raw := k.nextPrio(k.curLP)
+	e.raw = raw
+	k.events.update(e, t, k.permKey(t, raw, e.exec))
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -645,6 +681,9 @@ func (k *Kernel) schedule(self *Proc) bool {
 		}
 		k.Stats.Events++
 		k.curLP = e.exec
+		if k.explore != nil {
+			k.noteFire(e.at, e.raw, e.exec)
+		}
 		fn := e.fn
 		k.recycle(e)
 		fn()
@@ -672,6 +711,9 @@ func (k *Kernel) runWindow() {
 		}
 		k.Stats.Events++
 		k.curLP = e.exec
+		if k.explore != nil {
+			k.noteFire(e.at, e.raw, e.exec)
+		}
 		fn := e.fn
 		k.recycle(e)
 		fn()
@@ -805,7 +847,16 @@ func (p *Proc) Sleep(d Duration) {
 	// rank repeatedly sleeps for transfer or overhead durations. Events
 	// merged from other shards always fire at or past the horizon, so
 	// skipping the heap cannot skip over them.
-	if k.ready.len() == 0 {
+	//
+	// Disabled under exploration: whether the fast path is taken depends
+	// on this kernel's heap and ready queue — shard-local state — and a
+	// taken fast path skips minting a creation counter. Canonically that
+	// is sound (a per-LP counter shift preserves order: same-LP relative
+	// order is untouched and cross-LP keys compare on the origin bits
+	// first), but a salted permutation scrambles relative counter order,
+	// so skipped counters would make the schedule depend on the shard
+	// count. Exploration therefore always schedules the real wakeup.
+	if k.ready.len() == 0 && k.explore == nil {
 		wakeAt := k.now.Add(d)
 		if wakeAt < k.horizon && wakeAt < k.watchdogAt {
 			if at, ok := k.events.peekAt(); !ok || at > wakeAt {

@@ -33,7 +33,11 @@ func splitmix64(x uint64) uint64 {
 //   - reply chains, where a cross-shard arrival schedules further
 //     cross-shard events from inside an event callback;
 //   - sleeping procs interleaved with event delivery.
-func shardScenarioDigest(t *testing.T, shards int) [sha256.Size]byte {
+//
+// x optionally installs a schedule-exploration config (see explore.go);
+// the extra returns are the run's schedule digest and recorded tie
+// pairs, both zero when x is nil.
+func shardScenarioDigest(t *testing.T, shards int, x *Explore) ([sha256.Size]byte, uint64, []TiePair) {
 	t.Helper()
 	const (
 		nodes     = 16
@@ -41,6 +45,7 @@ func shardScenarioDigest(t *testing.T, shards int) [sha256.Size]byte {
 		lookahead = Duration(100)
 	)
 	co := NewCoordinator(nodes, shards, lookahead)
+	co.SetExplore(x)
 
 	type rec struct {
 		at  Time
@@ -130,7 +135,7 @@ func shardScenarioDigest(t *testing.T, shards int) [sha256.Size]byte {
 	u64(co.Stats().Events)
 	var sum [sha256.Size]byte
 	copy(sum[:], h.Sum(nil))
-	return sum
+	return sum, co.ScheduleDigest(), co.TiePairs()
 }
 
 // TestShardCountInvariance is the kernel-level determinism property: the
@@ -140,9 +145,9 @@ func shardScenarioDigest(t *testing.T, shards int) [sha256.Size]byte {
 // consistent (at, prio) keys, conservative windows, outbox merge order
 // irrelevance — with no MPI layer in between.
 func TestShardCountInvariance(t *testing.T) {
-	base := shardScenarioDigest(t, 1)
+	base, _, _ := shardScenarioDigest(t, 1, nil)
 	for _, shards := range []int{2, 3, 4, 5, 8, 16, 64} {
-		if got := shardScenarioDigest(t, shards); got != base {
+		if got, _, _ := shardScenarioDigest(t, shards, nil); got != base {
 			t.Errorf("shards=%d: digest %x differs from serial %x", shards, got, base)
 		}
 	}

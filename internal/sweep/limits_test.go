@@ -165,3 +165,114 @@ func TestMapLimited(t *testing.T) {
 		}
 	}
 }
+
+// TestRunLimitedTimeoutThenRetrySucceeds: a timed-out attempt counts as
+// a failed attempt, and a retry that finishes inside the deadline
+// delivers its result normally.
+func TestRunLimitedTimeoutThenRetrySucceeds(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	var calls atomic.Int32
+	jobs := []Job[int]{
+		func() (int, error) {
+			if calls.Add(1) == 1 {
+				<-release // first attempt hangs past the deadline
+			}
+			return 33, nil
+		},
+	}
+	out, err := RunLimited(1, JobLimits{Timeout: 20 * time.Millisecond, Retries: 1}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 33 || calls.Load() != 2 {
+		t.Fatalf("out=%v calls=%d, want [33] after 2 attempts", out, calls.Load())
+	}
+}
+
+// TestRunLimitedLateAttemptCannotOverwriteRetry: an abandoned attempt
+// that completes *after* a later attempt already won must not clobber
+// the winning result.
+func TestRunLimitedLateAttemptCannotOverwriteRetry(t *testing.T) {
+	var calls atomic.Int32
+	firstDone := make(chan struct{})
+	jobs := []Job[int]{
+		func() (int, error) {
+			if calls.Add(1) == 1 {
+				time.Sleep(60 * time.Millisecond)
+				close(firstDone)
+				return 111, nil // late result of the abandoned attempt
+			}
+			return 222, nil
+		},
+	}
+	out, err := RunLimited(1, JobLimits{Timeout: 10 * time.Millisecond, Retries: 1}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-firstDone // let the abandoned attempt finish before judging
+	if out[0] != 222 {
+		t.Fatalf("out[0] = %d, want the retry's 222 (late 111 must be discarded)", out[0])
+	}
+}
+
+// TestMapLimitedTimeout: the timeout path through MapLimited attributes
+// the failure to the right item and still delivers the siblings.
+func TestMapLimitedTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	items := []string{"a", "b", "c"}
+	out, err := MapLimited(4, JobLimits{Timeout: 20 * time.Millisecond}, items,
+		func(i int, s string) (string, error) {
+			if i == 1 {
+				<-release
+			}
+			return s + "!", nil
+		})
+	if !errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("err = %v, want ErrJobTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "job 1") {
+		t.Fatalf("timeout not attributed to item 1: %v", err)
+	}
+	if out[0] != "a!" || out[1] != "" || out[2] != "c!" {
+		t.Fatalf("out = %q, want [a! <empty> c!]", out)
+	}
+}
+
+// TestMapLimitedRetriesExhausted: every attempt fails; the aggregated
+// error carries the attempt count and the last attempt's cause.
+func TestMapLimitedRetriesExhausted(t *testing.T) {
+	var calls atomic.Int32
+	flaky := errors.New("flaky item")
+	_, err := MapLimited(1, JobLimits{Retries: 3}, []int{0},
+		func(int, int) (int, error) { calls.Add(1); return 0, flaky })
+	if !errors.Is(err, flaky) {
+		t.Fatalf("err = %v, want flaky", err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("calls = %d, want 4 (1 + 3 retries)", calls.Load())
+	}
+	if !strings.Contains(err.Error(), "after 4 attempts") {
+		t.Fatalf("error %q missing attempt count", err)
+	}
+}
+
+// TestMapLimitedPanicRetried: a panicking fn invocation is captured and
+// retried through MapLimited just like an erroring one.
+func TestMapLimitedPanicRetried(t *testing.T) {
+	var calls atomic.Int32
+	out, err := MapLimited(1, JobLimits{Retries: 1}, []int{10},
+		func(_, v int) (int, error) {
+			if calls.Add(1) == 1 {
+				panic("first attempt explodes")
+			}
+			return v * 2, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 20 {
+		t.Fatalf("out = %v, want [20]", out)
+	}
+}
