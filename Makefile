@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint ci perfcheck racecheck faultsmoke explorecheck fuzz cover bench results perf
+.PHONY: all build test race vet lint ci perfcheck racecheck faultsmoke explorecheck grandprixsmoke fuzz cover bench results perf
 
 all: build
 
@@ -19,8 +19,11 @@ vet:
 lint:
 	$(GO) run ./cmd/dpml-lint ./...
 
+# The bench package's determinism matrices now cover ten designs; under
+# the race detector on a small host that exceeds go test's default
+# 10-minute per-package timeout, so give the suite an explicit budget.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 # ci is the gate: the invariant analyzers and go vet, the full test suite under the race
 # detector (the sweep pool runs simulations on multiple goroutines, so
@@ -30,7 +33,7 @@ race:
 # 64-rank scenarios), the fault-matrix smoke pass, the schedule-space
 # exploration pass, a short fuzz pass over the text parsers, and the
 # coverage summary.
-ci: lint vet race racecheck perfcheck faultsmoke explorecheck fuzz cover
+ci: lint vet race racecheck perfcheck faultsmoke explorecheck grandprixsmoke fuzz cover
 
 perfcheck:
 	$(GO) run ./cmd/dpml-bench -perf -quick -baseline BENCH_sim.json -o /dev/null
@@ -67,6 +70,12 @@ explorecheck:
 		-schedules 32 -explore-seed 1 -o /dev/null
 	DPML_SHARDS=4 DPML_NET_SHARDS=2 $(GO) test -race -count=1 ./internal/explore/
 
+# grandprixsmoke runs the cross-family ranking figure at reduced scale
+# (one 4x4 shape instead of 8x8 + 16x16): every design family must
+# complete every (size, fault-class) heat on the seeded fabric.
+grandprixsmoke:
+	$(GO) run ./cmd/dpml-bench -figure grandprix -quick -iters 2 -warmup 1 -o /dev/null
+
 # fuzz gives each fuzz target a short budget. Go runs one fuzz function
 # per invocation, so each gets its own line; seeds in testdata/corpus
 # still run under plain `go test`.
@@ -76,6 +85,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzWriteCSVRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run=NONE -fuzz=FuzzSpanStamping -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run=NONE -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/faults/
+	$(GO) test -run=NONE -fuzz=FuzzParseDesign -fuzztime=$(FUZZTIME) ./internal/core/
 
 # cover runs the suite with coverage and prints the per-package and total
 # statement coverage summary.
@@ -90,7 +100,8 @@ bench:
 # results regenerates every committed table in results/ (see results/README.md).
 results:
 	for f in fig1a fig1b fig1c fig1d fig4 fig5 fig6 fig7 fig8a fig8b fig8c \
-	         fig9a fig9b fig9c fig9d fig11a fig11b fig11c model phases pipeline noise faults; do \
+	         fig9a fig9b fig9c fig9d fig11a fig11b fig11c model phases pipeline noise faults \
+	         grandprix; do \
 		$(GO) run ./cmd/dpml-bench -figure $$f -iters 2 -warmup 1 -o results/$$f.txt || exit 1; \
 	done
 	$(GO) run ./cmd/dpml-bench -figure fig10 -iters 1 -warmup 1 -o results/fig10.txt

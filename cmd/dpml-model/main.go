@@ -26,7 +26,10 @@ func main() {
 		nodes       = flag.Int("nodes", 16, "number of nodes")
 		ppn         = flag.Int("ppn", 28, "processes per node")
 		leaders     = flag.Int("leaders", 0, "leader count for the breakdown (0 = model optimum)")
-		k           = flag.Int("k", 1, "pipeline sub-partitions (Eq. 5)")
+		k           = flag.Int("k", 1, "pipeline sub-partitions (Eq. 5, and dual-root segments)")
+		groupSize   = flag.Int("g", 0, "generalized-allreduce group size (0 = ceil(sqrt(p)))")
+		stragglers  = flag.Int("stragglers", 2, "predicted straggler count for the PAP estimates")
+		delta       = flag.Float64("delta", 10e-6, "predicted arrival spread in seconds for the PAP estimates")
 		sizesFlag   = flag.String("sizes", "4,256,4096,65536,524288,4194304", "comma-separated message sizes in bytes")
 	)
 	flag.Parse()
@@ -66,6 +69,28 @@ func main() {
 		fmt.Printf("%10d %8d %12.2f %12.2f | %10.2f %10.2f %10.2f %10.2f | %12.2f\n",
 			n, opt, p.DPML()*1e6, p.RecursiveDoubling()*1e6,
 			br[0]*1e6, br[1]*1e6, br[2]*1e6, br[3]*1e6, p.DPMLPipelined()*1e6)
+	}
+
+	// Extension families: the related-work designs in the same a/b/c
+	// vocabulary, for ranking against Eq. 7.
+	procs := *nodes * *ppn
+	g := *groupSize
+	if g <= 0 {
+		for g = 1; g*g < procs; g++ {
+		}
+	}
+	fmt.Printf("\n# Extension families: k=%d g=%d stragglers=%d delta=%.3gus\n",
+		*k, g, *stragglers, *delta*1e6)
+	fmt.Printf("%10s %12s %12s %12s %12s\n",
+		"bytes", "dualroot(us)", "genall(us)", "pap-sort(us)", "pap-ring(us)")
+	for _, n := range sizes {
+		p := base.With(procs, *nodes, 1, n)
+		p.G, p.S, p.Delta = g, *stragglers, *delta
+		if err := p.Validate(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%10d %12.2f %12.2f %12.2f %12.2f\n",
+			n, p.DualRoot()*1e6, p.GenAll()*1e6, p.PAPSorted()*1e6, p.PAPRing()*1e6)
 	}
 }
 

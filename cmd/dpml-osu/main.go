@@ -30,9 +30,11 @@ func main() {
 		clusterName = flag.String("cluster", "B", "cluster: A, B, C, or D")
 		nodes       = flag.Int("nodes", 4, "number of nodes")
 		ppn         = flag.Int("ppn", 8, "processes per node")
-		design      = flag.String("design", "dpml", "design: flat, dpml, dpml-pipelined, sharp-node-leader, sharp-socket-leader")
+		design      = flag.String("design", "dpml", "design: flat, dpml, dpml-pipelined, sharp-node-leader, sharp-socket-leader, dualroot, genall, pap-sorted, pap-ring")
 		leaders     = flag.Int("leaders", 1, "DPML leaders per node")
 		chunks      = flag.Int("chunks", 4, "pipeline depth for dpml-pipelined")
+		segments    = flag.Int("segments", 0, "pipeline segments per half for dualroot (0 = size-driven)")
+		groups      = flag.Int("groups", 0, "group size for genall (0 = size-driven)")
 		alg         = flag.String("alg", "", "flat algorithm / inter-leader override")
 		lib         = flag.String("lib", "", "library selector instead of -design: mvapich2, intelmpi, proposed")
 		sizesFlag   = flag.String("sizes", "4,64,1024,16384,262144,1048576", "comma-separated message sizes in bytes")
@@ -101,6 +103,8 @@ func main() {
 			Design:   core.Design(*design),
 			Leaders:  *leaders,
 			Chunks:   *chunks,
+			Segments: *segments,
+			Groups:   *groups,
 			InterAlg: mpi.Algorithm(*alg),
 		}
 		if spec.Design == core.DesignFlat {

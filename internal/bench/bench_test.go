@@ -253,7 +253,7 @@ func TestFigureMatchesCommittedResults(t *testing.T) {
 func TestLeaderSweepShapeQuick(t *testing.T) {
 	// The harness-level check of the paper's core result at quick scale:
 	// 8 leaders beat 1 leader at the largest size.
-	tab, err := leaderSweep("fig5q", topology.ClusterB(), 8, 8, Options{Quick: true, Iters: 2, Warmup: 1})
+	tab, err := leaderSweep("fig5q", topology.ClusterB(), 8, 8, false, Options{Quick: true, Iters: 2, Warmup: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -30,6 +30,10 @@ func TestCrossDesignDeterminism(t *testing.T) {
 		{"dpml-pipelined", core.DPMLPipelined(4, 4)},
 		{"sharp-node", core.Spec{Design: core.DesignSharpNode}},
 		{"sharp-socket", core.Spec{Design: core.DesignSharpSocket}},
+		{"dualroot-s4", core.DualRoot(4)},
+		{"genall-g4", core.GenAll(4)},
+		{"pap-sorted", core.PAPSorted()},
+		{"pap-ring", core.PAPRing()},
 	}
 	sizes := []int{8, 4 << 10, 256 << 10}
 
@@ -95,6 +99,10 @@ func TestShardDeterminismMatrix(t *testing.T) {
 		{"flat-rd", core.Flat(mpi.AlgRecursiveDoubling)},
 		{"dpml-4", core.DPML(4)},
 		{"sharp-node", core.Spec{Design: core.DesignSharpNode}},
+		{"dualroot-s4", core.DualRoot(4)},
+		{"genall-g4", core.GenAll(4)},
+		{"pap-sorted", core.PAPSorted()},
+		{"pap-ring", core.PAPRing()},
 	}
 	sizes := []int{8, 4 << 10, 1 << 20} // 1 MB forces rendezvous transfers
 

@@ -35,15 +35,16 @@ func faultSweep(id string, opt Options) (*Table, error) {
 		classes = opt.FaultSpec.Classes
 	}
 	leaders := minInt(8, ppn)
-	cases := []struct {
-		label string
-		spec  core.Spec
-	}{
+	cases := []designCase{
 		{"flat-rd", core.Flat(mpi.AlgRecursiveDoubling)},
 		{"host-based", core.HostBased()},
 		{fmt.Sprintf("dpml-%d", leaders), core.DPML(leaders)},
 		{"sharp-node", core.Spec{Design: core.DesignSharpNode}},
 	}
+	// The related-work families face the same plans: the arrival-aware
+	// designs get to read each plan's straggler table, which is exactly
+	// the regime they were published for.
+	cases = append(cases, extensionCases()...)
 	t := &Table{
 		ID:     id,
 		Title:  fmt.Sprintf("Fault tolerance at 256B, %s, %d nodes x %d ppn (classes: %v)", cl.Name, nodes, ppn, classes),

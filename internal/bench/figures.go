@@ -80,6 +80,7 @@ func FigureIDs() []string {
 		"fig10",
 		"fig11a", "fig11b", "fig11c",
 		"model", "phases", "pipeline", "noise", "eager", "faults",
+		"grandprix",
 	}
 }
 
@@ -96,13 +97,16 @@ func Figure(id string, opt Options) (*Table, error) {
 	case "fig1d":
 		return figure1(id, "Relative throughput, inter-node KNL+Omni-Path", topology.ClusterD(), false, opt)
 	case "fig4":
-		return leaderSweep(id, topology.ClusterA(), 16, 28, opt)
+		// fig4 doubles as the extension showcase: alongside the paper's
+		// leader sweep it carries one series per related-work family so
+		// the cluster-A panel ranks them against DPML at every size.
+		return leaderSweep(id, topology.ClusterA(), 16, 28, true, opt)
 	case "fig5":
-		return leaderSweep(id, topology.ClusterB(), 64, 28, opt)
+		return leaderSweep(id, topology.ClusterB(), 64, 28, false, opt)
 	case "fig6":
-		return leaderSweep(id, topology.ClusterC(), 64, 28, opt)
+		return leaderSweep(id, topology.ClusterC(), 64, 28, false, opt)
 	case "fig7":
-		return leaderSweep(id, topology.ClusterD(), 32, 32, opt)
+		return leaderSweep(id, topology.ClusterD(), 32, 32, false, opt)
 	case "fig8a":
 		return sharpComparison(id, 1, opt)
 	case "fig8b":
@@ -137,6 +141,8 @@ func Figure(id string, opt Options) (*Table, error) {
 		return eagerAblation(id, opt)
 	case "faults":
 		return faultSweep(id, opt)
+	case "grandprix":
+		return grandPrix(id, opt)
 	}
 	return nil, fmt.Errorf("bench: unknown figure %q (known: %v)", id, FigureIDs())
 }
@@ -201,9 +207,30 @@ func quickShrink(quick bool, nodes, ppn int) (int, int) {
 	return nodes, ppn
 }
 
+// designCase pairs a series label with the reduction spec it measures.
+type designCase struct {
+	label string
+	spec  core.Spec
+}
+
+// extensionCases lists the related-work families raced against DPML in
+// the extended figures (fig4, faults, grandprix): the dual-root
+// doubly-pipelined tree, the generalized group allreduce, and both
+// arrival-pattern-aware designs.
+func extensionCases() []designCase {
+	return []designCase{
+		{"dualroot-s4", core.DualRoot(4)},
+		{"genall-g4", core.GenAll(4)},
+		{"pap-sorted", core.PAPSorted()},
+		{"pap-ring", core.PAPRing()},
+	}
+}
+
 // leaderSweep reproduces Figures 4-7: allreduce latency per message size
-// for 1, 2, 4, 8, 16 leaders per node.
-func leaderSweep(id string, cl *topology.Cluster, nodes, ppn int, opt Options) (*Table, error) {
+// for 1, 2, 4, 8, 16 leaders per node. With extended set (fig4 only, so
+// figs 5-7 stay byte-identical to the paper-only build) it appends one
+// series per related-work family after the leader sweep.
+func leaderSweep(id string, cl *topology.Cluster, nodes, ppn int, extended bool, opt Options) (*Table, error) {
 	nodes, ppn = quickShrink(opt.Quick, nodes, ppn)
 	t := &Table{
 		ID:     id,
@@ -220,10 +247,24 @@ func leaderSweep(id string, cl *topology.Cluster, nodes, ppn int, opt Options) (
 		return nil, err
 	}
 	t.Series = series
-	if len(t.Series) > 1 {
-		last := t.Series[len(t.Series)-1].Label
+	leaderCount := len(t.Series)
+	if extended {
+		ext, err := sweep.Map(opt.Jobs, extensionCases(), func(_ int, cse designCase) (Series, error) {
+			return LatencySeriesCfg(opt.latencyConfig(cl, nodes, ppn), cse.label, cl, nodes, ppn,
+				FixedSpec(cse.spec), sizes, opt.Iters, opt.Warmup)
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Series = append(t.Series, ext...)
+	}
+	if leaderCount > 1 {
+		last := t.Series[leaderCount-1].Label
 		t.AddSpeedupNote(last, "1-leader")
 		t.Notes = append(t.Notes, "paper: 4.9x (cluster B) / 4.3x (cluster C) at 512KB with 16 vs 1 leaders")
+	}
+	if extended {
+		t.Notes = append(t.Notes, "extension series: dual-root pipelined tree, generalized group allreduce, and arrival-aware designs on the same shape (healthy fabric: pap-ring degenerates to the flat ring)")
 	}
 	return t, nil
 }

@@ -144,6 +144,10 @@ func SimPerfFiltered(opt Options, match string) (*PerfReport, error) {
 		{"allreduce-flat-rd-64KB-8x8", topology.ClusterB(), 8, 8, 1, 1, core.Flat(mpi.AlgRecursiveDoubling), 64 << 10, 120},
 		{"allreduce-dpml8-1MB-8x8", topology.ClusterC(), 8, 8, 1, 1, core.DPML(8), 1 << 20, 40},
 		{"allreduce-sharp-node-256B-8x8", topology.ClusterA(), 8, 8, 1, 1, core.Spec{Design: core.DesignSharpNode}, 256, 600},
+		// The extension families' representative: the dual-root pipelined
+		// tree posts every receive up front, so its event density per
+		// allreduce is the highest of the new designs.
+		{"allreduce-dualroot-s4-64KB-8x8", topology.ClusterB(), 8, 8, 1, 1, core.DualRoot(4), 64 << 10, 60},
 		// The fig10 job shape: 10,240 ranks in one world, the scale at
 		// which ready-queue and flow-removal complexity dominates. Runs
 		// even with Quick (it is one world, not a figure sweep). The

@@ -37,6 +37,13 @@ func conformanceDesigns() []struct {
 		{"dpml-pipe-2x3", DPMLPipelined(2, 3)},
 		{"sharp-node", Spec{Design: DesignSharpNode}},
 		{"sharp-socket", Spec{Design: DesignSharpSocket}},
+		// Extension families: segment/group parameters deliberately do
+		// not divide the test counts or shapes evenly.
+		{"dualroot-s3", DualRoot(3)},
+		{"dualroot-auto", DualRoot(0)},
+		{"genall-g4", GenAll(4)},
+		{"pap-sorted", PAPSorted()},
+		{"pap-ring", PAPRing()},
 	}
 }
 

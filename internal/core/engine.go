@@ -37,6 +37,26 @@ const (
 	// DesignSharpSocket uses one SHArP leader per socket, avoiding
 	// cross-socket gather/broadcast traffic (Section 4.3).
 	DesignSharpSocket Design = "sharp-socket-leader"
+	// DesignDualRoot is Träff's doubly-pipelined reduction-to-all: two
+	// mirrored binary trees with roots at the first and last rank, each
+	// reducing one half of the vector in Spec.Segments pipelined blocks
+	// and broadcasting it back down while later blocks still flow up.
+	DesignDualRoot Design = "dualroot"
+	// DesignGenAll is the generalized (grouped) allreduce: contiguous
+	// groups of Spec.Groups ranks ring-allreduce locally, group leaders
+	// recursive-double across groups, and the result is broadcast within
+	// each group. Groups=1 degenerates to flat recursive doubling,
+	// Groups=p to a flat ring.
+	DesignGenAll Design = "genall"
+	// DesignPAPSorted is Proficz's sorted linear tree: the reduction
+	// chain follows the predicted process-arrival order (earliest rank
+	// first), overlapping the chain with the stragglers' delays, then
+	// broadcasts from the last arriver.
+	DesignPAPSorted Design = "pap-sorted"
+	// DesignPAPRing runs the ring among the predicted-early ranks while
+	// the stragglers are still delayed, folds the late contributions in
+	// at the earliest rank, and broadcasts the final result.
+	DesignPAPRing Design = "pap-ring"
 )
 
 // Spec fully describes one allreduce configuration.
@@ -53,6 +73,13 @@ type Spec struct {
 	InterAlg mpi.Algorithm
 	// FlatAlg is the algorithm for DesignFlat ("" = recursive doubling).
 	FlatAlg mpi.Algorithm
+	// Segments is the per-half pipelining block count for
+	// DesignDualRoot (0 = choose by message size, like Chunks-style
+	// pipelining; clamped to the data length).
+	Segments int
+	// Groups is the group size g for DesignGenAll (0 = choose by
+	// message size and job shape; clamped to [1, NumProcs]).
+	Groups int
 }
 
 func (s Spec) String() string {
@@ -67,6 +94,10 @@ func (s Spec) String() string {
 			alg = mpi.AlgRecursiveDoubling
 		}
 		return fmt.Sprintf("flat(%s)", alg)
+	case DesignDualRoot:
+		return fmt.Sprintf("dualroot(s=%d)", s.Segments)
+	case DesignGenAll:
+		return fmt.Sprintf("genall(g=%d)", s.Groups)
 	default:
 		return string(s.Design)
 	}
@@ -88,6 +119,20 @@ func DPMLPipelined(l, k int) Spec {
 
 // Flat returns a Spec running alg on the world communicator.
 func Flat(alg mpi.Algorithm) Spec { return Spec{Design: DesignFlat, FlatAlg: alg} }
+
+// DualRoot returns a Spec for the dual-root doubly-pipelined tree with
+// segments pipelining blocks per half (0 = size-adaptive).
+func DualRoot(segments int) Spec { return Spec{Design: DesignDualRoot, Segments: segments} }
+
+// GenAll returns a Spec for the generalized allreduce with groups of g
+// ranks (0 = shape-adaptive).
+func GenAll(g int) Spec { return Spec{Design: DesignGenAll, Groups: g} }
+
+// PAPSorted returns a Spec for the arrival-sorted linear-tree allreduce.
+func PAPSorted() Spec { return Spec{Design: DesignPAPSorted} }
+
+// PAPRing returns a Spec for the arrival-aware early-ring allreduce.
+func PAPRing() Spec { return Spec{Design: DesignPAPRing} }
 
 // Engine holds the per-job state the designs need: the shared-memory
 // regions, the per-leader-index communicators, and the SHArP groups.
@@ -211,6 +256,18 @@ func (e *Engine) Validate(s Spec) error {
 			return fmt.Errorf("core: %s requires SHArP, unavailable on %s",
 				s.Design, e.W.Job.Cluster.Name)
 		}
+	case DesignDualRoot:
+		if s.Segments < 0 || s.Segments > 1024 {
+			return fmt.Errorf("core: dualroot segments %d out of range [0,1024]", s.Segments)
+		}
+	case DesignGenAll:
+		if s.Groups < 0 || s.Groups > e.W.Job.NumProcs() {
+			return fmt.Errorf("core: genall group size %d out of range [0,%d]",
+				s.Groups, e.W.Job.NumProcs())
+		}
+	case DesignPAPSorted, DesignPAPRing:
+		// No parameters: the arrival schedule derives from the installed
+		// fault plan (healthy fabrics degenerate to rank order).
 	default:
 		return fmt.Errorf("core: unknown design %q", s.Design)
 	}
@@ -243,6 +300,20 @@ func (e *Engine) Allreduce(r *mpi.Rank, s Spec, op *mpi.Op, vec *mpi.Vector) err
 		e.sharpAllreduce(r, op, vec, false)
 	case DesignSharpSocket:
 		e.sharpAllreduce(r, op, vec, true)
+	case DesignDualRoot:
+		e.dualRoot(r, op, vec, s.Segments)
+	case DesignGenAll:
+		sp := rec.BeginSpan(r.Rank(), trace.PhaseGroup, r.Now())
+		e.genAll(r, op, vec, s.Groups)
+		sp.End(r.Now())
+	case DesignPAPSorted:
+		sp := rec.BeginSpan(r.Rank(), trace.PhasePAP, r.Now())
+		e.papSorted(r, op, vec)
+		sp.End(r.Now())
+	case DesignPAPRing:
+		sp := rec.BeginSpan(r.Rank(), trace.PhasePAP, r.Now())
+		e.papRing(r, op, vec)
+		sp.End(r.Now())
 	}
 	return nil
 }

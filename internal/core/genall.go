@@ -1,0 +1,91 @@
+package core
+
+import "dpml/internal/mpi"
+
+// genAll implements the generalized allreduce of Kolmakov/Zhang
+// (arXiv:2004.09362), parameterized by group size g: the p ranks form
+// ceil(p/g) contiguous groups; each group ring-allreduces its members'
+// vectors, the group leaders (first rank of each group) run a recursive-
+// doubling allreduce over the group partials, and each leader broadcasts
+// the final vector back into its group. The parameter interpolates
+// between the two classic extremes exactly: g=1 makes every rank a
+// leader (pure recursive doubling over p), g=p makes one group (pure
+// ring over p, with no leader exchange or broadcast).
+func (e *Engine) genAll(r *mpi.Rank, op *mpi.Op, vec *mpi.Vector, g int) {
+	w := e.W
+	c := w.CommWorld()
+	me := c.RankOf(r)
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	if g <= 0 {
+		g = autoGroupSize(p, vec.Bytes())
+	}
+	if g > p {
+		g = p
+	}
+
+	if g == p {
+		// Single group: the intra-group ring already is the allreduce.
+		r.Allreduce(c, mpi.AlgRing, op, vec)
+		return
+	}
+	if g == 1 {
+		// Singleton groups: only the leader exchange remains.
+		r.Allreduce(c, mpi.AlgRecursiveDoubling, op, vec)
+		return
+	}
+
+	groups := (p + g - 1) / g
+	gi := me / g
+	lo := gi * g
+	hi := lo + g
+	if hi > p {
+		hi = p
+	}
+	groupRanks := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		groupRanks = append(groupRanks, c.Global(i))
+	}
+	gc := w.InternComm(groupRanks)
+
+	// Phase A: intra-group ring allreduce — every member ends with the
+	// group partial.
+	if gc.Size() > 1 {
+		r.Allreduce(gc, mpi.AlgRing, op, vec)
+	}
+
+	// Phase B: recursive doubling across the group leaders.
+	if me == lo {
+		leaders := make([]int, groups)
+		for i := range leaders {
+			leaders[i] = c.Global(i * g)
+		}
+		lc := w.InternComm(leaders)
+		r.Allreduce(lc, mpi.AlgRecursiveDoubling, op, vec)
+	}
+
+	// Phase C: binomial broadcast of the final vector inside each group.
+	if gc.Size() > 1 {
+		r.Bcast(gc, 0, vec)
+	}
+}
+
+// autoGroupSize picks g when the spec leaves it 0: small messages lean
+// toward the recursive-doubling extreme (fewer, latency-bound rounds),
+// large ones toward the ring extreme (bandwidth-optimal), and the
+// middle takes balanced ~sqrt(p) groups.
+func autoGroupSize(p, bytes int) int {
+	switch {
+	case bytes <= 4<<10:
+		return 1
+	case bytes >= 256<<10:
+		return p
+	}
+	g := 1
+	for g*g < p {
+		g++
+	}
+	return g
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dpml/internal/mpi"
+)
+
+// ParseDesign resolves a CLI design name, including parameterized forms,
+// into a Spec. Recognized shapes:
+//
+//	flat, flat:<alg>                  flat algorithm on the world comm
+//	host-based                        single-leader hierarchy
+//	dpml-<l>                          multi-leader with l leaders
+//	dpml-pipe-<l>x<k>                 pipelined with l leaders, k chunks
+//	sharp-node, sharp-socket          SHArP offload designs
+//	dualroot, dualroot-s<n>           dual-root tree, n segments per half
+//	genall, genall-g<n>               generalized allreduce, group size n
+//	pap-sorted, pap-ring              arrival-pattern-aware designs
+//
+// Parameters are validated for range here (non-negative, within the
+// same bounds Engine.Validate enforces shape-independently); shape-
+// dependent checks (leaders vs ppn, groups vs procs) remain Validate's.
+func ParseDesign(name string) (Spec, error) {
+	switch name {
+	case "flat":
+		return Flat(mpi.AlgRecursiveDoubling), nil
+	case "host-based":
+		return HostBased(), nil
+	case "sharp-node":
+		return Spec{Design: DesignSharpNode}, nil
+	case "sharp-socket":
+		return Spec{Design: DesignSharpSocket}, nil
+	case "dualroot":
+		return DualRoot(0), nil
+	case "genall":
+		return GenAll(0), nil
+	case "pap-sorted":
+		return PAPSorted(), nil
+	case "pap-ring":
+		return PAPRing(), nil
+	}
+	if alg, ok := strings.CutPrefix(name, "flat:"); ok {
+		for _, a := range mpi.FlatAlgorithms() {
+			if string(a) == alg {
+				return Flat(a), nil
+			}
+		}
+		return Spec{}, fmt.Errorf("core: unknown flat algorithm %q in design %q", alg, name)
+	}
+	if rest, ok := strings.CutPrefix(name, "dpml-pipe-"); ok {
+		lStr, kStr, ok := strings.Cut(rest, "x")
+		if !ok {
+			return Spec{}, fmt.Errorf("core: design %q: want dpml-pipe-<l>x<k>", name)
+		}
+		l, err := parseParam(name, "leaders", lStr, 1, 1<<20)
+		if err != nil {
+			return Spec{}, err
+		}
+		k, err := parseParam(name, "chunks", kStr, 1, 1024)
+		if err != nil {
+			return Spec{}, err
+		}
+		return DPMLPipelined(l, k), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "dpml-"); ok {
+		l, err := parseParam(name, "leaders", rest, 1, 1<<20)
+		if err != nil {
+			return Spec{}, err
+		}
+		return DPML(l), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "dualroot-"); ok {
+		rest = strings.TrimPrefix(rest, "s")
+		s, err := parseParam(name, "segments", rest, 1, 1024)
+		if err != nil {
+			return Spec{}, err
+		}
+		return DualRoot(s), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "genall-"); ok {
+		rest = strings.TrimPrefix(rest, "g")
+		g, err := parseParam(name, "group size", rest, 1, 1<<20)
+		if err != nil {
+			return Spec{}, err
+		}
+		return GenAll(g), nil
+	}
+	return Spec{}, fmt.Errorf("core: unknown design %q", name)
+}
+
+// parseParam parses one decimal design parameter and range-checks it.
+func parseParam(design, what, s string, lo, hi int) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("core: design %q: bad %s %q", design, what, s)
+	}
+	if v < lo || v > hi {
+		return 0, fmt.Errorf("core: design %q: %s %d out of range [%d,%d]", design, what, v, lo, hi)
+	}
+	return v, nil
+}

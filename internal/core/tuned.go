@@ -26,10 +26,22 @@ const (
 	// LibProposed is the paper's design: the per-size best DPML /
 	// DPML-Pipelined / SHArP configuration (the hybrid of Section 4).
 	LibProposed Library = "proposed"
+	// LibPAPAware extends the proposed selector with the related-work
+	// families: under a predicted-imbalanced arrival pattern it picks
+	// the arrival-aware designs (sorted linear tree for latency-bound
+	// sizes, early-ring beyond), and on a balanced fabric it falls back
+	// to the proposed hybrid. Kept out of Libraries() so the committed
+	// baseline figures stay byte-identical; the grand-prix figure and
+	// ExtendedLibraries callers opt in.
+	LibPAPAware Library = "pap-aware"
 )
 
 // Libraries returns the comparable baselines in presentation order.
 func Libraries() []Library { return []Library{LibMVAPICH2, LibIntelMPI, LibProposed} }
+
+// ExtendedLibraries returns the baselines plus the extension selectors
+// that know about the related-work design families.
+func ExtendedLibraries() []Library { return append(Libraries(), LibPAPAware) }
 
 // SpecFor returns the allreduce configuration the library would choose
 // for a message of the given size on this engine's job.
@@ -41,6 +53,8 @@ func (e *Engine) SpecFor(lib Library, bytes int) Spec {
 		return e.intelMPISpec(bytes)
 	case LibProposed:
 		return e.ProposedSpec(bytes)
+	case LibPAPAware:
+		return e.papAwareSpec(bytes)
 	}
 	panic(fmt.Sprintf("core: unknown library %q", lib))
 }
@@ -50,7 +64,7 @@ func (e *Engine) SpecFor(lib Library, bytes int) Spec {
 // since it is only reachable with validated names).
 func (e *Engine) LibraryAllreduce(r *mpi.Rank, lib Library, op *mpi.Op, vec *mpi.Vector) error {
 	known := false
-	for _, l := range Libraries() {
+	for _, l := range ExtendedLibraries() {
 		if l == lib {
 			known = true
 			break
@@ -122,6 +136,23 @@ func (e *Engine) ProposedSpec(bytes int) Spec {
 		}
 	}
 	return Spec{Design: DesignDPML, Leaders: l}
+}
+
+// papAwareSpec selects for a predicted arrival pattern: when the
+// installed fault plan marks stragglers, symmetric designs serialize
+// behind the latest arriver, so the selector switches to the
+// arrival-aware families — the sorted linear tree while the payload is
+// latency-bound, the early-ring variant beyond, where the overlapped
+// ring bandwidth matters. Balanced fabrics see the proposed hybrid
+// unchanged.
+func (e *Engine) papAwareSpec(bytes int) Spec {
+	if plan := e.W.FaultPlan(); plan != nil && len(plan.Stragglers) > 0 {
+		if bytes <= 4<<10 {
+			return PAPSorted()
+		}
+		return PAPRing()
+	}
+	return e.ProposedSpec(bytes)
 }
 
 // BestLeaders returns the empirically tuned DPML leader count for a

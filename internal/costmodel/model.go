@@ -26,7 +26,12 @@ type Params struct {
 	BPrime float64 // transfer time per byte, shared memory
 	C      float64 // computation cost of one reduction per byte
 
-	K int // sub-partitions used by DPML-Pipelined
+	K int // sub-partitions used by DPML-Pipelined (and dual-root segments)
+
+	// Extension-family parameters (beyond Table 1).
+	G     int     // group size for the generalized allreduce (0 = unused)
+	S     int     // predicted straggler count for the PAP designs
+	Delta float64 // predicted arrival spread in seconds (latest minus earliest)
 }
 
 // FromCluster derives a, b, a', b', c from a cluster's fabric profile.
@@ -62,6 +67,12 @@ func (p Params) Validate() error {
 		return fmt.Errorf("costmodel: negative cost coefficients")
 	case p.K < 1:
 		return fmt.Errorf("costmodel: K=%d must be >= 1", p.K)
+	case p.G < 0 || p.G > p.P:
+		return fmt.Errorf("costmodel: G=%d out of range [0,%d]", p.G, p.P)
+	case p.S < 0 || p.S >= p.P:
+		return fmt.Errorf("costmodel: S=%d out of range [0,%d)", p.S, p.P)
+	case p.Delta < 0:
+		return fmt.Errorf("costmodel: Delta=%g must be non-negative", p.Delta)
 	}
 	return nil
 }
@@ -149,4 +160,87 @@ func (p Params) OptimalLeaders() int {
 // compute, comm, bcast), for reporting.
 func (p Params) PhaseBreakdown() [4]float64 {
 	return [4]float64{p.CopyPhase(), p.ComputePhase(), p.CommPhase(), p.BcastPhase()}
+}
+
+// Extension families (Section "related designs"): analytic estimates in
+// the same a/b/c vocabulary for the three design families implemented
+// alongside DPML. These are planning aids — each models its family's
+// critical path under the same simplifications Eqs. 1-7 make (uniform
+// links, no congestion), so they rank designs rather than predict exact
+// latencies.
+
+// DualRoot models Träff's doubly-pipelined dual-root binary tree: each
+// half of the vector (n/2 bytes) flows up a depth-ceil(lg p) binary tree
+// in K pipelined blocks and back down, the two trees running
+// concurrently on disjoint halves. The pipeline fills in depth + K - 1
+// steps each way; each step moves one block of n/(2K) bytes and folds it
+// once:
+//
+//	2 * (ceil(lg p) + K - 1) * (a + n/(2K) * (b + c))
+func (p Params) DualRoot() float64 {
+	n := float64(p.N)
+	k := float64(p.K)
+	block := n / (2 * k)
+	steps := lg2ceil(p.P) + k - 1
+	return 2 * steps * (p.A + block*(p.B+p.C))
+}
+
+// GenAll models Kolmakov/Zhang's generalized allreduce with group size
+// g: a ring allreduce inside each group of g, recursive doubling across
+// the p/g group leaders, and a binomial broadcast back into the groups.
+// g = 1 degenerates to flat recursive doubling and g = p to a flat
+// ring, matching the implementation's special cases.
+func (p Params) GenAll() float64 {
+	g := p.G
+	if g <= 0 {
+		g = 1
+	}
+	n := float64(p.N)
+	if g == 1 {
+		return p.RecursiveDoubling()
+	}
+	gf := float64(g)
+	ring := 2*(gf-1)*p.A + 2*(gf-1)/gf*n*(p.B+p.C)
+	if g >= p.P {
+		return ring
+	}
+	groups := (p.P + g - 1) / g
+	rd := lg2ceil(groups) * (p.A + n*p.B + n*p.C)
+	bcast := lg2ceil(g) * (p.A + n*p.B)
+	return ring + rd + bcast
+}
+
+// PAPSorted models Proficz's sorted linear tree under an arrival spread
+// Delta: the first p-2 chain hops overlap the stragglers' delays, so
+// the critical path is the spread (or the chain, whichever is longer)
+// plus the final hop and the broadcast from the last arriver.
+func (p Params) PAPSorted() float64 {
+	n := float64(p.N)
+	hop := p.A + n*(p.B+p.C)
+	chain := float64(p.P-2) * hop
+	if chain < 0 {
+		chain = 0
+	}
+	overlap := math.Max(p.Delta, chain)
+	return overlap + hop + lg2ceil(p.P)*(p.A+n*p.B)
+}
+
+// PAPRing models the parallel-ring variant: the p-S on-time ranks run a
+// ring allreduce overlapping the spread, the S stragglers' vectors are
+// folded in by the earliest rank as they arrive, and a broadcast
+// finishes. With S = 0 and Delta = 0 this is a flat ring.
+func (p Params) PAPRing() float64 {
+	early := p.P - p.S
+	if early < 1 {
+		early = 1
+	}
+	n := float64(p.N)
+	ef := float64(early)
+	ring := 2*(ef-1)*p.A + 2*(ef-1)/ef*n*(p.B+p.C)
+	fold := float64(p.S) * (p.A + n*(p.B+p.C))
+	total := math.Max(p.Delta, ring) + fold
+	if p.S > 0 || p.Delta > 0 {
+		total += lg2ceil(p.P) * (p.A + n*p.B)
+	}
+	return total
 }

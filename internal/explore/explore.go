@@ -157,15 +157,29 @@ func Designs() []NamedDesign {
 		{"dpml-pipe-2x3", core.DPMLPipelined(2, 3)},
 		{"sharp-node", core.Spec{Design: core.DesignSharpNode}},
 		{"sharp-socket", core.Spec{Design: core.DesignSharpSocket}},
+		// Extension families (PR 9). Parameters are chosen so the
+		// standard 16-rank exploration shapes exercise the interesting
+		// structure: 3 segments pipeline unevenly over a 61-element
+		// half, group size 4 leaves a ragged last group on 15-rank
+		// conformance shapes.
+		{"dualroot-s3", core.DualRoot(3)},
+		{"genall-g4", core.GenAll(4)},
+		{"pap-sorted", core.PAPSorted()},
+		{"pap-ring", core.PAPRing()},
 	}
 }
 
-// DesignByName resolves a design name from Designs.
+// DesignByName resolves a design name: the curated Designs list first,
+// then any parameterized form core.ParseDesign understands (so
+// -design dualroot-s8 or dpml-7 work without a registry entry).
 func DesignByName(name string) (core.Spec, bool) {
 	for _, d := range Designs() {
 		if d.Name == name {
 			return d.Spec, true
 		}
+	}
+	if spec, err := core.ParseDesign(name); err == nil {
+		return spec, true
 	}
 	return core.Spec{}, false
 }

@@ -134,6 +134,14 @@ func (w *World) LeaderComm(localIdx int) *Comm {
 	return w.NewComm(ranks)
 }
 
+// InternComm returns the shared communicator for the given global-rank
+// group (in comm-rank order). Unlike NewComm, every rank deriving the
+// same group gets the *same* Comm object, so their messages match —
+// the seam algorithm extensions (grouped and arrival-ordered designs)
+// use to build sub-communicators mid-run without a collective exchange.
+// All members must derive the group from collectively consistent state.
+func (w *World) InternComm(ranks []int) *Comm { return w.internComm(ranks) }
+
 // internComm returns the communicator for the given global-rank group,
 // creating it on first use. Interning guarantees that every rank
 // deriving the same group (e.g. through Split) shares one communicator

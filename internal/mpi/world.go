@@ -278,6 +278,17 @@ func (w *World) CommWorld() *Comm { return w.world }
 // Tracer returns the configured event recorder (nil when tracing is off).
 func (w *World) Tracer() *trace.Recorder { return w.cfg.Trace }
 
+// FaultPlan returns the installed fault plan, or nil on a healthy
+// fabric. Arrival-pattern-aware designs read it as their (perfect)
+// arrival-time predictor: the plan is identical on every rank, so
+// schedules derived from it are collectively consistent.
+func (w *World) FaultPlan() *faults.Plan {
+	if w.cfg.Faults.Empty() {
+		return nil
+	}
+	return w.cfg.Faults
+}
+
 // jitter returns the sending rank's next pseudo-random extra latency in
 // [0, Jitter] (splitmix64). Each rank owns its stream and only consumes
 // it from its own simulation context, in an order the shard count cannot

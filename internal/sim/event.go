@@ -23,7 +23,14 @@ type Event struct {
 	// except under a schedule-exploration config (see explore.go), when
 	// prio holds the perturbed heap key and raw feeds the schedule
 	// digest so behaviorally identical schedules hash equal.
-	raw       uint64
+	raw uint64
+	// born is the kernel's fire sequence number at the instant the event
+	// entered the heap, maintained only under exploration. Tie recording
+	// uses it to tell genuine commutation points (both events pending
+	// together) from causal same-instant pairs (the second event created
+	// by the first one's callback), whose inversion is a no-op; see
+	// Kernel.noteFire.
+	born      uint64
 	exec      int32 // LP the callback runs as (kernel's curLP during fn)
 	fn        func()
 	cancelled bool

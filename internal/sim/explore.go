@@ -181,6 +181,7 @@ func (k *Kernel) setExplore(st *exploreState) {
 	k.digest = make([]uint64, k.lpCount)
 	k.lastAt = make([]Time, k.lpCount)
 	k.lastRaw = make([]uint64, k.lpCount)
+	k.lastSeq = make([]uint64, k.lpCount)
 	if st.recordTies {
 		k.ties = make([][]TiePair, k.lpCount)
 	}
@@ -193,7 +194,22 @@ func (k *Kernel) setExplore(st *exploreState) {
 // digest counts behaviorally distinct schedules, not salt values. Raw
 // keys are never zero (origin+1 occupies the high bits), so lastRaw==0
 // doubles as "no event fired on this LP yet".
-func (k *Kernel) noteFire(at Time, raw uint64, exec int32) {
+//
+// A pair is recorded only when both events were pending together —
+// born < lastSeq[i] means this event entered the heap before the
+// previous one fired. An event created *during* the previous event's
+// callback (or by a proc that callback readied) is causally ordered
+// after it: inverting such a pair's keys cannot reorder them, because
+// the second event is not in the heap when the first is popped, so
+// recording it would both waste the systematic frontier's budget on
+// no-op schedules and crowd genuine commutation points out of the
+// per-LP maxTies cap. The predicate is shard-count-invariant: an LP's
+// same-instant creations come only from its own execution (the
+// lookahead bound forbids zero-delay cross-LP events into a node), so
+// "pending before the previous fire" is a property of the causal order,
+// not of the kernel interleaving.
+func (k *Kernel) noteFire(at Time, raw, born uint64, exec int32) {
+	k.fireSeq++
 	i := exec - k.lpBase
 	d := k.digest[i]
 	d = mix64(d ^ uint64(at))
@@ -201,11 +217,11 @@ func (k *Kernel) noteFire(at Time, raw uint64, exec int32) {
 	k.digest[i] = d
 	st := k.explore
 	if st.recordTies && exec != k.netLP {
-		if k.lastRaw[i] != 0 && k.lastAt[i] == at && len(k.ties[i]) < st.maxTies {
+		if k.lastRaw[i] != 0 && k.lastAt[i] == at && born < k.lastSeq[i] && len(k.ties[i]) < st.maxTies {
 			k.ties[i] = append(k.ties[i], TiePair{At: at, LP: int(exec), A: k.lastRaw[i], B: raw})
 		}
 	}
-	k.lastAt[i], k.lastRaw[i] = at, raw
+	k.lastAt[i], k.lastRaw[i], k.lastSeq[i] = at, raw, k.fireSeq
 }
 
 // SetExplore installs a schedule-perturbation config on every kernel of

@@ -226,6 +226,8 @@ type Kernel struct {
 	digest  []uint64
 	lastAt  []Time
 	lastRaw []uint64
+	lastSeq []uint64
+	fireSeq uint64
 	ties    [][]TiePair
 
 	// mainWake resumes Kernel.Run when the simulation terminates
@@ -319,14 +321,18 @@ func (k *Kernel) permKey(at Time, raw uint64, exec int32) uint64 {
 // kept on the event for digesting (see explore.go).
 func (k *Kernel) push(at Time, prio uint64, exec int32, fn func()) *Event {
 	key := k.permKey(at, prio, exec)
+	var born uint64
+	if k.explore != nil {
+		born = k.fireSeq
+	}
 	var e *Event
 	if n := len(k.epool); n > 0 {
 		e = k.epool[n-1]
 		k.epool[n-1] = nil
 		k.epool = k.epool[:n-1]
-		*e = Event{at: at, prio: key, raw: prio, exec: exec, fn: fn}
+		*e = Event{at: at, prio: key, raw: prio, born: born, exec: exec, fn: fn}
 	} else {
-		e = &Event{at: at, prio: key, raw: prio, exec: exec, fn: fn}
+		e = &Event{at: at, prio: key, raw: prio, born: born, exec: exec, fn: fn}
 	}
 	k.events.push(e)
 	if n := uint64(k.events.len()); n > k.Stats.HeapHighWater {
@@ -472,6 +478,9 @@ func (k *Kernel) Reschedule(e *Event, t Time) {
 	}
 	raw := k.nextPrio(k.curLP)
 	e.raw = raw
+	if k.explore != nil {
+		e.born = k.fireSeq // re-keying is a re-creation for tie purposes
+	}
 	k.events.update(e, t, k.permKey(t, raw, e.exec))
 }
 
@@ -682,7 +691,7 @@ func (k *Kernel) schedule(self *Proc) bool {
 		k.Stats.Events++
 		k.curLP = e.exec
 		if k.explore != nil {
-			k.noteFire(e.at, e.raw, e.exec)
+			k.noteFire(e.at, e.raw, e.born, e.exec)
 		}
 		fn := e.fn
 		k.recycle(e)
@@ -712,7 +721,7 @@ func (k *Kernel) runWindow() {
 		k.Stats.Events++
 		k.curLP = e.exec
 		if k.explore != nil {
-			k.noteFire(e.at, e.raw, e.exec)
+			k.noteFire(e.at, e.raw, e.born, e.exec)
 		}
 		fn := e.fn
 		k.recycle(e)

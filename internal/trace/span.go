@@ -22,18 +22,30 @@ const (
 	PhaseBcast    = "bcast-out"
 	PhaseFlat     = "flat-exchange"
 	PhaseFallback = "fallback"
+	// Phases of the extension design families: the dual-root pipelined
+	// tree's upward reduction and downward broadcast sweeps, the
+	// generalized (grouped) allreduce's single exchange, and the
+	// process-arrival-pattern-aware reorderings.
+	PhaseTreeReduce = "tree-reduce"
+	PhaseTreeBcast  = "tree-bcast"
+	PhaseGroup      = "group-exchange"
+	PhasePAP        = "pap-exchange"
 )
 
 // phaseOrder ranks the canonical phases for reports; unknown phases sort
 // after them, alphabetically.
 var phaseOrder = map[string]int{
-	PhaseCopy:     0,
-	PhaseReduce:   1,
-	PhaseInter:    2,
-	PhaseSharp:    3,
-	PhaseBcast:    4,
-	PhaseFlat:     5,
-	PhaseFallback: 6,
+	PhaseCopy:       0,
+	PhaseReduce:     1,
+	PhaseInter:      2,
+	PhaseSharp:      3,
+	PhaseBcast:      4,
+	PhaseFlat:       5,
+	PhaseFallback:   6,
+	PhaseTreeReduce: 7,
+	PhaseTreeBcast:  8,
+	PhaseGroup:      9,
+	PhasePAP:        10,
 }
 
 func phaseLess(a, b string) bool {
