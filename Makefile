@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint ci perfcheck racecheck faultsmoke explorecheck grandprixsmoke fuzz cover bench results perf
+.PHONY: all build test race vet lint lintfix-check ci perfcheck racecheck faultsmoke explorecheck grandprixsmoke fuzz cover bench results perf
 
 all: build
 
@@ -13,10 +13,21 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo's seven invariant analyzers (walltime, globalrand,
-# maprange, spanpair, waitcheck, floateq, prio) over the whole module; it
-# exits non-zero on any finding, including unused //dpml:allow suppressions.
+# lint runs the repo's ten invariant analyzers — seven per-package
+# passes (walltime, globalrand, maprange, spanpair, waitcheck, floateq,
+# prio) and three whole-module call-graph passes (taintflow, lpown,
+# sendpath) — over the module; it exits non-zero on any finding,
+# including unused //dpml:allow suppressions.
 lint:
+	$(GO) run ./cmd/dpml-lint ./...
+
+# lintfix-check audits the annotation and suppression hygiene: the full
+# analyzer run makes unused //dpml:allow lines and malformed or typo'd
+# //dpml:owner classes findings (never silence), and the -suppressions
+# table puts every remaining allowance with its recorded reason on the
+# CI log for review.
+lintfix-check:
+	$(GO) run ./cmd/dpml-lint -suppressions ./...
 	$(GO) run ./cmd/dpml-lint ./...
 
 # The bench package's determinism matrices now cover ten designs; under
@@ -33,7 +44,7 @@ race:
 # 64-rank scenarios), the fault-matrix smoke pass, the schedule-space
 # exploration pass, a short fuzz pass over the text parsers, and the
 # coverage summary.
-ci: lint vet race racecheck perfcheck faultsmoke explorecheck grandprixsmoke fuzz cover
+ci: lint lintfix-check vet race racecheck perfcheck faultsmoke explorecheck grandprixsmoke fuzz cover
 
 perfcheck:
 	$(GO) run ./cmd/dpml-bench -perf -quick -baseline BENCH_sim.json -o /dev/null
@@ -86,6 +97,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzSpanStamping -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run=NONE -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/faults/
 	$(GO) test -run=NONE -fuzz=FuzzParseDesign -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run=NONE -fuzz=FuzzAllowDirective -fuzztime=$(FUZZTIME) ./internal/lint/
 
 # cover runs the suite with coverage and prints the per-package and total
 # statement coverage summary.

@@ -1,15 +1,19 @@
-// dpml-lint runs the repo's seven invariant analyzers (walltime,
-// globalrand, maprange, spanpair, waitcheck, floateq, prio) over the module
-// and exits non-zero on findings, so CI fails loudly. See
-// internal/lint for what each analyzer proves and CONTRIBUTING.md for
-// the //dpml:allow suppression syntax.
+// dpml-lint runs the repo's ten invariant analyzers — seven
+// per-package (walltime, globalrand, maprange, spanpair, waitcheck,
+// floateq, prio) and three whole-module call-graph passes (taintflow,
+// lpown, sendpath) — over the module and exits non-zero on findings,
+// so CI fails loudly. See internal/lint for what each analyzer proves
+// and CONTRIBUTING.md for the //dpml:allow suppression syntax and the
+// //dpml:owner annotation discipline.
 //
 // Usage:
 //
-//	dpml-lint [-json] [-run a,b,...] [-list] [packages]
+//	dpml-lint [-json] [-run a,b,...] [-list] [-suppressions] [packages]
 //
 // With no package arguments (or "./..."), the whole module is analyzed.
 // Explicit arguments name module directories ("internal/sim", "./cmd/...").
+// -suppressions prints the audit table of every //dpml:allow site
+// (file:line, analyzer, reason) instead of running analyzers.
 // Exit status: 0 clean, 1 findings, 2 usage or load/type-check errors.
 package main
 
@@ -34,8 +38,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	runList := fs.String("run", "", "comma-separated subset of analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	sups := fs.Bool("suppressions", false, "print the //dpml:allow audit table and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: dpml-lint [-json] [-run a,b,...] [-list] [packages]\n")
+		fmt.Fprintf(stderr, "usage: dpml-lint [-json] [-run a,b,...] [-list] [-suppressions] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -94,7 +99,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	findings := lint.Run(pkgs, analyzers)
+	if *sups {
+		for _, sup := range lint.Suppressions(pkgs) {
+			analyzer := sup.Analyzer
+			if analyzer == "" {
+				analyzer = "(malformed)"
+			}
+			reason := sup.Reason
+			if reason == "" {
+				reason = "(no reason)"
+			}
+			fmt.Fprintf(stdout, "%s:%d\t%s\t%s\n", sup.Pos.Filename, sup.Pos.Line, analyzer, reason)
+		}
+		return 0
+	}
+
+	findings := lint.RunModule(pkgs, loader.Loaded(), analyzers)
 	if *jsonOut {
 		if err := lint.WriteJSON(stdout, findings); err != nil {
 			fmt.Fprintln(stderr, "dpml-lint:", err)

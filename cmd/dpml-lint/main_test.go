@@ -95,10 +95,67 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"walltime", "globalrand", "maprange", "spanpair", "waitcheck", "floateq"} {
+	for _, name := range []string{"walltime", "globalrand", "maprange", "spanpair", "waitcheck", "floateq",
+		"prio", "taintflow", "lpown", "sendpath"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestSuppressionsTable audits the //dpml:allow budget: every site in
+// the requested packages appears as file:line, analyzer, reason —
+// including malformed ones, which show up with placeholder columns
+// instead of vanishing.
+func TestSuppressionsTable(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-suppressions", "dpml/internal/lint/testdata/src/suppress"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, part := range []string{
+		"internal/lint/testdata/src/suppress/suppress.go:7\tfloateq\toracle: exactness is the point here",
+		"speling",
+		"(no reason)",
+	} {
+		if !strings.Contains(got, part) {
+			t.Errorf("-suppressions table missing %q:\n%s", part, got)
+		}
+	}
+}
+
+// TestTaintflowJSONGolden pins the machine-readable shape of an
+// interprocedural finding: module-root-relative position plus the full
+// witness path in the message.
+func TestTaintflowJSONGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-run", "taintflow", "dpml/internal/lint/testdata/src/taintflow"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	golden := filepath.Join("testdata", "taintflow.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("-json output differs from %s:\n got:\n%s\nwant:\n%s", golden, out.String(), want)
+	}
+}
+
+// TestInterprocCleanTree pins the zero-new-suppressions guarantee for
+// the interprocedural analyzers: the whole module — kernel, fabric,
+// MPI, collectives, tooling — passes taintflow, lpown, and sendpath
+// with no findings and no //dpml:allow escapes.
+func TestInterprocCleanTree(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "taintflow,lpown,sendpath"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; findings:\n%s%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("interprocedural analyzers report findings on the real tree:\n%s", out.String())
 	}
 }
 

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dpml/internal/lint"
+)
+
+// lintWallNote times a full in-process dpml-lint run — loading and
+// type-checking every module package from source, building the
+// whole-module call graph, and running all ten analyzers — and renders
+// it as a report note. The figure of interest is wall time: the
+// interprocedural passes must stay well under ~30s on a single-core CI
+// runner, and the note keeps that visible in BENCH_sim.json without
+// gating (CheckRegression reads Scenarios only). ok is false when the
+// module root cannot be found (e.g. an installed binary run outside
+// the repo) or loading fails; the perf suite then simply omits the
+// note.
+func lintWallNote() (string, bool) {
+	root, ok := findModuleRoot()
+	if !ok {
+		return "", false
+	}
+	start := time.Now()
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return "", false
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return "", false
+	}
+	findings := lint.RunModule(pkgs, loader.Loaded(), lint.Analyzers())
+	return fmt.Sprintf("dpml-lint ./...: %.2fs wall, %d packages, %d findings (ten analyzers incl. whole-module call graph; informational, budget ~30s)",
+		time.Since(start).Seconds(), len(pkgs), len(findings)), true
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, bool) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", false
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, true
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", false
+		}
+		dir = parent
+	}
+}

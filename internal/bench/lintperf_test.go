@@ -1,0 +1,21 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintWallNote runs the in-process lint timing once: the note must
+// render, name the tool, and — on a clean tree — report zero findings.
+func TestLintWallNote(t *testing.T) {
+	note, ok := lintWallNote()
+	if !ok {
+		t.Fatal("lintWallNote found no module root from the test working directory")
+	}
+	if !strings.HasPrefix(note, "dpml-lint ./...:") {
+		t.Fatalf("note %q does not name the tool", note)
+	}
+	if !strings.Contains(note, " 0 findings") {
+		t.Fatalf("lint run over the real tree is not clean: %s", note)
+	}
+}

@@ -22,7 +22,12 @@ import (
 )
 
 // Link is a capacity-constrained resource (one direction of a NIC port, a
-// fat-tree core stage, or a node's memory system).
+// fat-tree core stage, or a node's memory system). A link belongs to
+// whichever kernel's FlowNet drives it — the network LP for wire
+// links, a node LP for memory links — so class ownership is per
+// instance, not per type.
+//
+//dpml:owner shared
 type Link struct {
 	name      string
 	capacity  float64 // bytes/sec
@@ -119,6 +124,10 @@ func (l *Link) compact() {
 	l.flows = flows
 }
 
+// flow is one transfer in flight; like Link, it is owned by whichever
+// kernel's FlowNet it runs under.
+//
+//dpml:owner shared
 type flow struct {
 	links      []*Link
 	cap        float64 // per-flow rate ceiling, bytes/sec
@@ -148,7 +157,10 @@ type component struct {
 
 // FlowNet owns the set of active flows and keeps their rates max-min fair.
 // All methods must be called from simulation context (a running proc or an
-// event callback).
+// event callback) of the kernel it was built with — the network LP for
+// the wire FlowNet, a node LP for each memory FlowNet.
+//
+//dpml:owner shared
 type FlowNet struct {
 	k       *sim.Kernel
 	workers int     // host goroutines for the component fill (see SetWorkers)

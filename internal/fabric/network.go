@@ -8,7 +8,11 @@ import (
 )
 
 // hca is one host channel adapter: an uplink, a downlink, and an injection
-// serializer enforcing the NIC message rate.
+// serializer enforcing the NIC message rate. The injector state is
+// owned by the HCA's node LP; the links themselves are flow-net state
+// and immutable after construction.
+//
+//dpml:owner node
 type hca struct {
 	up       *Link
 	down     *Link
@@ -33,6 +37,8 @@ type hca struct {
 // rate cannot exceed the pipe. This is what makes concurrency from
 // *different* processes profitable (Figure 1) while extra in-flight
 // messages from one process are not.
+//
+//dpml:owner net
 type Network struct {
 	coord *sim.Coordinator
 	k     *sim.Kernel // the network LP's kernel: owns links, flows, Stats
@@ -60,7 +66,11 @@ type Network struct {
 
 // Endpoint is one process's attachment to the network. The pipes are
 // full-duplex (matching the cost model's assumption): sending and
-// receiving each have their own per-process processing rate.
+// receiving each have their own per-process processing rate. All
+// fields are immutable after construction; the attachment belongs to
+// its node's LP.
+//
+//dpml:owner node
 type Endpoint struct {
 	net  *Network
 	k    *sim.Kernel // the owning node's kernel
@@ -245,6 +255,8 @@ func (n *Network) hcaAt(node, h int) *hca {
 // MemChannel models one node's shared-memory communication: every copy is
 // a flow over the node's aggregate memory bandwidth with a per-flow
 // streaming cap that depends on whether the copy crosses sockets.
+//
+//dpml:owner node
 type MemChannel struct {
 	k     *sim.Kernel
 	flows *FlowNet

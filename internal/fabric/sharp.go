@@ -36,6 +36,8 @@ var (
 // every caller through per-node events that pay at least the tree's
 // first-hop latency — which is what makes the model safe under a sharded
 // kernel without any shard observing another.
+//
+//dpml:owner net
 type Sharp struct {
 	k         *sim.Kernel // the network LP's kernel
 	prof      topology.SharpProfile
@@ -44,7 +46,7 @@ type Sharp struct {
 	groups    int
 	slots     int        // free outstanding-operation slots (fabric-wide)
 	waitq     []*sharpOp // operations waiting for a slot, FIFO
-	failed    bool       // offload outage in force (see SetFailed)
+	failed    bool       //dpml:owner shared -- SetFailed documents cross-context toggling
 }
 
 // NewSharp builds the SHArP model for a cluster, or returns
@@ -104,6 +106,8 @@ func (s *Sharp) TreeDepth(nodes int) int {
 // data reaches its switch: injection of the payload, per-level switch
 // reduction on the way up, and the latency of traversing the tree up and
 // down.
+//
+//dpml:minlookahead
 func (s *Sharp) OpLatency(nodes int, bytes int) sim.Duration {
 	depth := s.TreeDepth(nodes)
 	d := s.prof.OpOverhead + sim.Duration(2*depth)*s.prof.HopLatency
@@ -117,6 +121,8 @@ func (s *Sharp) OpLatency(nodes int, bytes int) sim.Duration {
 // nearest switch (the NACK path; completed operations take at least
 // OpLatency, which is larger). The sharded kernel's lookahead must not
 // exceed it.
+//
+//dpml:minlookahead
 func (s *Sharp) WakeLatency() sim.Duration {
 	return s.prof.OpOverhead + 2*s.prof.HopLatency
 }
@@ -125,6 +131,8 @@ func (s *Sharp) WakeLatency() sim.Duration {
 // refused (offload offline, or leaves disagreeing on the payload): one
 // control round trip through the edge of the tree. Bounded below by the
 // kernel's lookahead by construction (see WakeLatency).
+//
+//dpml:minlookahead
 func (s *Sharp) nackLatency() sim.Duration {
 	return s.WakeLatency()
 }
@@ -158,6 +166,8 @@ func (s *Sharp) Groups() int { return s.groups }
 
 // SharpGroup is one SHArP communicator: the set of leaf nodes plus the
 // arrival-collection state for the operation currently forming.
+//
+//dpml:owner net
 type SharpGroup struct {
 	sharp   *Sharp
 	nodes   int
@@ -173,7 +183,11 @@ type SharpGroup struct {
 }
 
 // sharpCall is one caller's side of one operation: where to deliver the
-// verdict and the parked proc's wakeup.
+// verdict and the parked proc's wakeup. It is the node/net handoff
+// cell: the net LP fills it and fires done with a lookahead-respecting
+// delay, the caller's proc reads it after the wake.
+//
+//dpml:owner shared
 type sharpCall struct {
 	lp     int // caller's node LP
 	result any
@@ -182,6 +196,7 @@ type sharpCall struct {
 }
 
 // sharpOp is one collective operation's state, owned by the network LP.
+//
 // The fold tree is sharded by leaf subtree, matching the switch hardware:
 // each leaf switch reduces its own nodes' contributions first (parts[s],
 // folded in arrival-event order — a canonical order of virtual time, then
@@ -189,6 +204,8 @@ type sharpCall struct {
 // per-subtree partials in subtree-id order at launch. Both orders are
 // independent of the shard and netshard counts, so the floating-point
 // fold is identical across every execution configuration.
+//
+//dpml:owner net
 type sharpOp struct {
 	group   *SharpGroup
 	bytes   int

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzAllowDirective drives arbitrary comment text through the
+// //dpml:allow parser. The parser must never panic; when it rejects a
+// text the text must genuinely not be an allow directive (wrong prefix,
+// or a longer //dpml:allowXyz marker); when it accepts, the parsed
+// fields must come from the text, carry no surrounding whitespace, and
+// a well-formed directive rebuilt from them must re-parse to the same
+// fields.
+func FuzzAllowDirective(f *testing.F) {
+	f.Add("//dpml:allow walltime -- replay harness timestamps its log")
+	f.Add("//dpml:allow lpown -- fixture: prove suppression works")
+	f.Add("//dpml:allow")
+	f.Add("//dpml:allow ")
+	f.Add("//dpml:allow floateq")
+	f.Add("//dpml:allow floateq --")
+	f.Add("//dpml:allow floateq -- ")
+	f.Add("//dpml:allowance denied")
+	f.Add("//dpml:owner node")
+	f.Add("// dpml:allow walltime -- leading space")
+	f.Add("//dpml:allow\tglobalrand\t--\ttabs everywhere")
+	f.Add("//dpml:allow maprange -- reason with -- a second dash pair")
+	f.Add("/*dpml:allow walltime -- block*/")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok := parseAllowDirective(text)
+		if !ok {
+			if d != (allowDirective{}) {
+				t.Fatalf("rejected %q but returned fields %+v", text, d)
+			}
+			rest, found := strings.CutPrefix(text, suppressPrefix)
+			if found && (rest == "" || rest[0] == ' ' || rest[0] == '\t') &&
+				!strings.ContainsAny(rest, "\n\r") {
+				t.Fatalf("rejected well-prefixed directive %q", text)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, suppressPrefix) {
+			t.Fatalf("accepted %q without the %s prefix", text, suppressPrefix)
+		}
+		for name, v := range map[string]string{"analyzer": d.Analyzer, "reason": d.Reason} {
+			if v != strings.TrimSpace(v) {
+				t.Fatalf("%s of %q has surrounding whitespace: %q", name, text, v)
+			}
+			if strings.ContainsAny(v, "\n\r") {
+				t.Fatalf("%s of %q spans lines: %q", name, text, v)
+			}
+		}
+		if d.Analyzer != "" && !strings.Contains(text, d.Analyzer) {
+			t.Fatalf("analyzer %q of %q not present in the text", d.Analyzer, text)
+		}
+		if d.Analyzer == "" || d.Reason == "" {
+			return // malformed directive: the caller reports it
+		}
+		if strings.IndexFunc(d.Analyzer, unicode.IsSpace) >= 0 {
+			t.Fatalf("analyzer %q of %q contains whitespace", d.Analyzer, text)
+		}
+		rebuilt := suppressPrefix + " " + d.Analyzer + " -- " + d.Reason
+		back, okBack := parseAllowDirective(rebuilt)
+		if !okBack || back.Analyzer != d.Analyzer || back.Reason != d.Reason {
+			t.Fatalf("rebuilt %q from %q does not round-trip: %+v ok=%v", rebuilt, text, back, okBack)
+		}
+	})
+}

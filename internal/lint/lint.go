@@ -1,6 +1,6 @@
 // Package lint is the repo's static-analysis framework: a small harness
 // over the standard library's go/ast and go/types (the module is
-// dependency-free, so no x/tools) plus seven repo-specific analyzers that
+// dependency-free, so no x/tools) plus ten repo-specific analyzers that
 // prove the simulator's determinism and protocol invariants at compile
 // time. The dynamic counterparts of these invariants — byte-identical
 // results at any worker count, seeded fault plans, the span tiling
@@ -14,6 +14,17 @@
 //   - waitcheck: every non-blocking MPI request is waited or discarded
 //   - floateq: no ==/!= on floating-point operands in non-test code
 //   - prio: event tiebreak keys are minted only by Kernel.nextPrio
+//   - taintflow: no transitive call path from the virtual-time packages
+//     into the host clock, global randomness, or map-ordered emission
+//   - lpown: //dpml:owner-annotated state is touched only by its owning
+//     LP class, and cross-LP delays are provably ≥ the lookahead
+//   - sendpath: cross-LP communication uses AfterOn/AfterNet outbox
+//     routing, never direct scheduling or wakes on another LP's kernel
+//
+// The first seven run one package at a time; the last three are module
+// passes over a CHA call graph (callgraph.go) so a violation hidden
+// behind any chain of helpers in any package is still found, with the
+// full call path in the finding.
 //
 // Findings can be suppressed, one line at a time, with a
 // "//dpml:allow <analyzer> -- reason" comment; the driver verifies every
@@ -40,11 +51,14 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Analyzer is one named check run over a type-checked package.
+// Analyzer is one named check. Per-package analyzers set Run; whole-
+// module analyzers (which need the call graph or cross-package bodies)
+// set RunModule instead and are invoked once per driver run.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Pass)
+	Name      string
+	Doc       string
+	Run       func(p *Pass)
+	RunModule func(p *ModulePass)
 }
 
 // Pass carries one analyzer's run over one package.
@@ -63,6 +77,61 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Module carries the whole-module context the interprocedural analyzers
+// run against: the packages findings may be reported in (Targets), the
+// full set of loaded module packages whose bodies are visible (All, a
+// superset of Targets), and the call graph over All.
+type Module struct {
+	Targets []*Package
+	All     []*Package
+	Graph   *CallGraph
+
+	own *ownership // lazily built, shared by lpown and sendpath
+}
+
+// ownership builds (once) the LP-ownership model over the module.
+func (m *Module) ownership() *ownership {
+	if m.own == nil {
+		m.own = buildOwnership(m)
+	}
+	return m.own
+}
+
+// TargetPkg reports whether findings may be reported in pkg (module
+// analyzers see every loaded package but only report in the requested
+// ones, like per-package analyzers only run on requested packages).
+func (m *Module) TargetPkg(pkg *Package) bool {
+	for _, t := range m.Targets {
+		if t == pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// ModulePass carries one module analyzer's run.
+type ModulePass struct {
+	*Module
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos. Every loaded package shares the
+// loader's FileSet, so any target package's resolves positions.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Targets[0].Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Position resolves a token.Pos for use inside finding messages
+// (call-path steps, registration sites).
+func (p *ModulePass) Position(pos token.Pos) token.Position {
+	return p.Targets[0].Fset.Position(pos)
+}
+
 // Analyzers returns the full suite in its canonical order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -73,6 +142,9 @@ func Analyzers() []*Analyzer {
 		WaitcheckAnalyzer,
 		FloateqAnalyzer,
 		PrioAnalyzer,
+		TaintflowAnalyzer,
+		LpownAnalyzer,
+		SendpathAnalyzer,
 	}
 }
 
@@ -98,15 +170,39 @@ func ByName(names []string) ([]*Analyzer, error) {
 
 // Run executes the analyzers over the packages, applies //dpml:allow
 // suppressions, appends findings for unused or malformed suppressions,
-// and returns everything sorted by position then analyzer name.
+// and returns everything sorted by position then analyzer name. Module
+// analyzers see only pkgs; use RunModule to hand them dependency bodies.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return RunModule(pkgs, pkgs, analyzers)
+}
+
+// RunModule is Run with an explicit whole-module package set: findings
+// are reported in targets only, but module analyzers (taintflow, lpown,
+// sendpath) build their call graph over all, so chains through helper
+// packages outside the target set are still followed. all may be any
+// superset of the targets' module-local dependency closure; the loader's
+// Loaded method provides it.
+func RunModule(targets, all []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
-	for _, pkg := range pkgs {
+	for _, pkg := range targets {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			a.Run(&Pass{Pkg: pkg, analyzer: a, findings: &findings})
 		}
 	}
-	findings = applySuppressions(pkgs, analyzers, findings)
+	var mod *Module
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if mod == nil {
+			mod = buildModule(targets, all)
+		}
+		a.RunModule(&ModulePass{Module: mod, analyzer: a, findings: &findings})
+	}
+	findings = applySuppressions(targets, analyzers, findings)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -121,6 +217,27 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		return a.Analyzer < b.Analyzer
 	})
 	return findings
+}
+
+// buildModule assembles the module context: the union of targets and
+// all (deduplicated, sorted by import path for deterministic graph
+// order) and the call graph over it.
+func buildModule(targets, all []*Package) *Module {
+	seen := map[string]*Package{}
+	for _, p := range targets {
+		seen[p.Path] = p
+	}
+	for _, p := range all {
+		if _, ok := seen[p.Path]; !ok {
+			seen[p.Path] = p
+		}
+	}
+	union := make([]*Package, 0, len(seen))
+	for _, p := range seen {
+		union = append(union, p)
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i].Path < union[j].Path })
+	return &Module{Targets: targets, All: union, Graph: BuildCallGraph(union)}
 }
 
 // inspect walks every file of the pass's package.

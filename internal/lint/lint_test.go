@@ -44,7 +44,7 @@ func runFixture(t *testing.T, name string, analyzers []*Analyzer) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings := Run([]*Package{pkg}, analyzers)
+	findings := RunModule([]*Package{pkg}, l.Loaded(), analyzers)
 	wants := parseWants(t, pkg)
 
 	for _, f := range findings {
@@ -119,6 +119,13 @@ func TestSpanpairFixture(t *testing.T)   { runFixture(t, "spanpair", one(t, "spa
 func TestWaitcheckFixture(t *testing.T)  { runFixture(t, "waitcheck", one(t, "waitcheck")) }
 func TestFloateqFixture(t *testing.T)    { runFixture(t, "floateq", one(t, "floateq")) }
 func TestPrioFixture(t *testing.T)       { runFixture(t, "prio", one(t, "prio")) }
+
+// The module-analyzer fixtures exercise the interprocedural passes;
+// runFixture hands them the loader's full package closure so chains
+// through the fixtures' helper subpackages are followed.
+func TestTaintflowFixture(t *testing.T) { runFixture(t, "taintflow", one(t, "taintflow")) }
+func TestLpownFixture(t *testing.T)     { runFixture(t, "lpown", one(t, "lpown")) }
+func TestSendpathFixture(t *testing.T)  { runFixture(t, "sendpath", one(t, "sendpath")) }
 
 // The suppress fixture runs with floateq active: used allowances silence
 // their findings, and unused/unknown/reason-less allowances surface as

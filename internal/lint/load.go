@@ -213,6 +213,24 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	return pkg, nil
 }
 
+// Loaded returns every module package this loader has type-checked —
+// the requested ones plus their module-local dependency closure —
+// sorted by import path. Module analyzers build their call graph over
+// this set so helper bodies outside the requested packages stay
+// visible.
+func (l *Loader) Loaded() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.pkgs[p])
+	}
+	return out
+}
+
 // Import implements types.Importer for the type-checker: module-local
 // paths load recursively, the rest goes to the stdlib source importer.
 func (l *Loader) Import(path string) (*types.Package, error) {

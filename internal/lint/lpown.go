@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LpownAnalyzer enforces the LP-ownership discipline the sharded
+// kernel's determinism rests on, using the model in owner.go:
+//
+//  1. A field of a //dpml:owner node|net struct may only be written
+//     from execution contexts of that class, and only read from other
+//     classes when it is immutable after construction. "shared" fields
+//     (externally synchronized, e.g. mutex-guarded registries) are
+//     exempt. Contexts are classified interprocedurally, so a wrong-
+//     class access through any helper chain is found, with the
+//     registration-to-access witness path in the message.
+//  2. A cross-LP AfterOn delay must be provably ≥ the coordinator
+//     lookahead: the expression has to be built from
+//     //dpml:minlookahead-annotated quantities (directly, via sums, via
+//     locals, or via parameters — in which case the proof obligation
+//     propagates to every call site). Hops to the net LP are exempt:
+//     the node→net direction is the outbox itself.
+//  3. Malformed, misplaced, or typo'd annotations are findings, never
+//     silence.
+//
+// What lpown cannot prove it does not report: contexts it cannot
+// classify (setup code, bench harnesses) and function-value
+// indirection are unchecked — the kernel's runtime cross-LP assertions
+// remain the backstop there.
+var LpownAnalyzer = &Analyzer{
+	Name:      "lpown",
+	Doc:       "//dpml:owner state is touched only by its LP class; cross-LP AfterOn delays provably ≥ the lookahead",
+	RunModule: runLpown,
+}
+
+func runLpown(p *ModulePass) {
+	o := p.ownership()
+	for _, b := range o.bad {
+		if p.TargetPkg(b.pkg) {
+			p.Reportf(b.pos, "%s", b.msg)
+		}
+	}
+	checkOwnership(p, o)
+	checkDelays(p, o)
+}
+
+// checkOwnership flags wrong-class field accesses in every classified
+// unit. Constructor-shaped functions are exempt: they run before the
+// object is published to its LP.
+func checkOwnership(p *ModulePass, o *ownership) {
+	for _, u := range o.units {
+		if len(u.classes) == 0 || u.ctor {
+			continue
+		}
+		if !p.TargetPkg(u.pkg) || !lpCheckedPkg(u.pkg.Path, "lpown") || u.pkg.Path == "dpml/internal/sim" {
+			continue
+		}
+		uu := u
+		info := uu.pkg.Info
+		writes := map[*ast.SelectorExpr]bool{}
+		o.inspectUnit(uu, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if st.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+						writes[sel] = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel, ok := ast.Unparen(st.X).(*ast.SelectorExpr); ok {
+					writes[sel] = true
+				}
+			}
+			return true
+		})
+		classes := sortedClasses(uu)
+		o.inspectUnit(uu, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			own := o.fieldClass[v]
+			if own != classNode && own != classNet {
+				return true
+			}
+			isWrite := writes[sel]
+			if !isWrite && !o.mutable[v] {
+				return true // immutable after construction: safe to read anywhere
+			}
+			for _, c := range classes {
+				if c == own {
+					continue
+				}
+				verb := "read"
+				if isWrite {
+					verb = "written"
+				}
+				p.Reportf(sel.Sel.Pos(), "field %s.%s is %s-owned but %s from a %s-LP context: %s",
+					o.fieldOwner[v], v.Name(), own, verb, c, o.chain(uu, c))
+			}
+			return true
+		})
+	}
+}
+
+// checkDelays proves every cross-LP AfterOn delay is lookahead-shaped.
+func checkDelays(p *ModulePass, o *ownership) {
+	g := p.Graph
+	reported := map[token.Pos]bool{}
+	for _, n := range g.Nodes() {
+		if n.Decl == nil || !p.TargetPkg(n.Pkg) {
+			continue
+		}
+		if !lpCheckedPkg(n.Pkg.Path, "lpown") || n.Pkg.Path == "dpml/internal/sim" {
+			continue
+		}
+		nd := n
+		ast.Inspect(nd.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(nd.Pkg.Info, call)
+			if fn == nil || fn.Name() != "AfterOn" || len(call.Args) < 3 {
+				return true
+			}
+			recv := recvOf(fn)
+			if recv == nil || !isSimType(baseTypeName(recv.Type()), "Kernel") {
+				return true
+			}
+			if exprMentionsNet(call.Args[0]) {
+				return true // node→net hop is the outbox itself; any delay is legal
+			}
+			dp := &delayProver{o: o, g: g}
+			if dp.shaped(nd.Pkg, nd.Decl, call.Args[1], map[*types.Func]bool{}, 32) {
+				return true
+			}
+			afterPos := p.Position(call.Args[1].Pos())
+			any := false
+			for _, fl := range dp.fails {
+				if !p.TargetPkg(fl.pkg) || reported[fl.pos] {
+					continue
+				}
+				reported[fl.pos] = true
+				any = true
+				p.Reportf(fl.pos, "delay flows into the cross-LP AfterOn at %s:%d via %s but cannot be proven ≥ the lookahead; derive it from a //dpml:minlookahead quantity",
+					afterPos.Filename, afterPos.Line, fl.via)
+			}
+			if !any && !reported[call.Args[1].Pos()] {
+				reported[call.Args[1].Pos()] = true
+				p.Reportf(call.Args[1].Pos(), "cross-LP AfterOn delay cannot be proven ≥ the coordinator lookahead; derive it from a //dpml:minlookahead-annotated quantity")
+			}
+			return true
+		})
+	}
+}
+
+// delayFail is one call site whose argument breaks a parameter-
+// propagated delay proof.
+type delayFail struct {
+	pos token.Pos
+	pkg *Package
+	via string
+}
+
+type delayProver struct {
+	o     *ownership
+	g     *CallGraph
+	fails []delayFail
+}
+
+// shaped reports whether e is provably ≥ the lookahead: a
+// //dpml:minlookahead call, field, constant, or variable; a sum with a
+// shaped operand; a local whose every assignment is shaped; or a
+// parameter every in-scope call site feeds a shaped argument.
+func (dp *delayProver) shaped(pkg *Package, fd *ast.FuncDecl, e ast.Expr, seen map[*types.Func]bool, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	e = ast.Unparen(e)
+	info := pkg.Info
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD {
+			return dp.shaped(pkg, fd, x.X, seen, depth-1) || dp.shaped(pkg, fd, x.Y, seen, depth-1)
+		}
+		return false
+	case *ast.CallExpr:
+		fn := calleeFunc(info, x)
+		return fn != nil && dp.o.minLA[fn]
+	case *ast.SelectorExpr:
+		if s := info.Selections[x]; s != nil {
+			return dp.o.minLA[s.Obj()]
+		}
+		if obj := info.Uses[x.Sel]; obj != nil {
+			return dp.o.minLA[obj]
+		}
+		return false
+	case *ast.Ident:
+		obj := objOf(info, x)
+		if obj == nil {
+			return false
+		}
+		if dp.o.minLA[obj] {
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		if idx := paramIndex(info, fd, v); idx >= 0 {
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			return dp.paramShaped(fn, idx, v.Name(), seen, depth-1)
+		}
+		return dp.localShaped(pkg, fd, v, seen, depth-1)
+	}
+	return false
+}
+
+// localShaped requires at least one assignment to v inside fd and
+// every one of them to be shaped.
+func (dp *delayProver) localShaped(pkg *Package, fd *ast.FuncDecl, v *types.Var, seen map[*types.Func]bool, depth int) bool {
+	info := pkg.Info
+	found, all := false, true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			for _, lhs := range as.Lhs {
+				if id, okID := lhs.(*ast.Ident); okID && objOf(info, id) == v {
+					found, all = true, false // tuple assignment: unprovable
+				}
+			}
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, okID := lhs.(*ast.Ident)
+			if !okID || objOf(info, id) != v {
+				continue
+			}
+			found = true
+			if !dp.shaped(pkg, fd, as.Rhs[i], seen, depth) {
+				all = false
+			}
+		}
+		return true
+	})
+	return found && all
+}
+
+// paramShaped propagates the proof obligation for parameter idx of fn
+// to every call site in the graph, recording failing arguments for
+// call-site reporting. A cycle (recursive pass-through) is treated as
+// proven — the chain must bottom out at some non-parameter argument,
+// which is checked on its own edge.
+func (dp *delayProver) paramShaped(fn *types.Func, idx int, pname string, seen map[*types.Func]bool, depth int) bool {
+	if fn == nil || depth == 0 {
+		return false
+	}
+	fn = fn.Origin()
+	if seen[fn] {
+		return true
+	}
+	seen[fn] = true
+	defer delete(seen, fn)
+	node := dp.g.Node(fn)
+	if node == nil || len(node.In) == 0 {
+		return false
+	}
+	ok := true
+	for _, e := range node.In {
+		if e.Caller.Decl == nil || idx >= len(e.Call.Args) || e.Call.Ellipsis.IsValid() {
+			ok = false
+			continue
+		}
+		if dp.shaped(e.Caller.Pkg, e.Caller.Decl, e.Call.Args[idx], seen, depth-1) {
+			continue
+		}
+		ok = false
+		dp.fails = append(dp.fails, delayFail{
+			pos: e.Call.Args[idx].Pos(),
+			pkg: e.Caller.Pkg,
+			via: fmt.Sprintf("parameter %q of %s", pname, node.Name()),
+		})
+	}
+	return ok
+}
+
+// paramIndex returns v's position in fd's parameter list, or -1.
+func paramIndex(info *types.Info, fd *ast.FuncDecl, v *types.Var) int {
+	if fd.Type.Params == nil {
+		return -1
+	}
+	idx := 0
+	for _, f := range fd.Type.Params.List {
+		if len(f.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range f.Names {
+			if info.Defs[name] == v {
+				return idx
+			}
+			idx++
+		}
+	}
+	return -1
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"go/token"
 	"strings"
+	"unicode"
 )
 
 // suppressPrefix starts an inline allowance: a finding of the named
@@ -20,6 +21,79 @@ type suppression struct {
 	line     int // target line findings must be on
 	pos      token.Position
 	used     bool
+}
+
+// allowDirective is the parsed form of one //dpml:allow comment.
+type allowDirective struct {
+	Analyzer string
+	Reason   string
+}
+
+// parseAllowDirective parses a raw comment text. ok is false when the
+// text is not an allow directive at all (wrong prefix, or a longer
+// //dpml:allowXyz marker). A directive with a missing analyzer name or
+// reason parses with the corresponding field empty — the caller turns
+// that into a malformed-suppression finding.
+func parseAllowDirective(text string) (allowDirective, bool) {
+	rest, found := strings.CutPrefix(text, suppressPrefix)
+	if !found {
+		return allowDirective{}, false
+	}
+	if rest == "" {
+		return allowDirective{}, true
+	}
+	if rest[0] != ' ' && rest[0] != '\t' {
+		return allowDirective{}, false // some other //dpml:allowXyz marker
+	}
+	if strings.ContainsAny(rest, "\n\r") {
+		return allowDirective{}, false // not a line comment
+	}
+	// The analyzer name is the first whitespace-separated token; the
+	// reason is whatever follows " -- ". Anything else after the name
+	// (including nothing) counts as a missing reason.
+	rest = strings.TrimSpace(rest)
+	name, tail := rest, ""
+	if i := strings.IndexFunc(rest, unicode.IsSpace); i >= 0 {
+		name, tail = rest[:i], rest[i:]
+	}
+	reason, okReason := strings.CutPrefix(strings.TrimSpace(tail), "-- ")
+	if !okReason {
+		reason = ""
+	}
+	return allowDirective{Analyzer: name, Reason: strings.TrimSpace(reason)}, true
+}
+
+// Suppression is one //dpml:allow site, for the -suppressions audit
+// table: where it is, which analyzer it silences, and why.
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// Suppressions lists every //dpml:allow comment in pkgs (including
+// malformed ones, whose Analyzer or Reason may be empty) in file
+// order, so the whole suppression budget is reviewable at a glance.
+func Suppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseAllowDirective(c.Text)
+					if !ok {
+						continue
+					}
+					out = append(out, Suppression{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: d.Analyzer,
+						Reason:   d.Reason,
+					})
+				}
+			}
+		}
+	}
+	return out
 }
 
 // applySuppressions drops findings covered by a used //dpml:allow
@@ -44,38 +118,30 @@ func applySuppressions(pkgs []*Package, analyzers []*Analyzer, findings []Findin
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					if !strings.HasPrefix(c.Text, suppressPrefix) {
+					d, okD := parseAllowDirective(c.Text)
+					if !okD {
 						continue
 					}
 					pos := pkg.Fset.Position(c.Pos())
-					rest := strings.TrimPrefix(c.Text, suppressPrefix)
-					if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
-						continue // some other //dpml:allowXyz marker
-					}
-					// The analyzer name is the first token; the reason is
-					// whatever follows " -- ". Anything else after the name
-					// (including nothing) counts as a missing reason.
-					name, tail, _ := strings.Cut(strings.TrimSpace(rest), " ")
-					reason, okReason := strings.CutPrefix(strings.TrimSpace(tail), "-- ")
 					switch {
-					case name == "":
+					case d.Analyzer == "":
 						out = append(out, Finding{Analyzer: "suppress", Pos: pos,
 							Message: "malformed suppression: missing analyzer name"})
 						continue
-					case !known[name]:
+					case !known[d.Analyzer]:
 						out = append(out, Finding{Analyzer: "suppress", Pos: pos,
-							Message: "suppression names unknown analyzer " + strconvQuote(name)})
+							Message: "suppression names unknown analyzer " + strconvQuote(d.Analyzer)})
 						continue
-					case !okReason || strings.TrimSpace(reason) == "":
+					case d.Reason == "":
 						out = append(out, Finding{Analyzer: "suppress", Pos: pos,
-							Message: "suppression without a reason: write //dpml:allow " + name + " -- <why>"})
+							Message: "suppression without a reason: write //dpml:allow " + d.Analyzer + " -- <why>"})
 						continue
 					}
-					if !active[name] {
+					if !active[d.Analyzer] {
 						continue // analyzer not in this run; leave it alone
 					}
 					sups = append(sups, &suppression{
-						analyzer: name, reason: strings.TrimSpace(reason),
+						analyzer: d.Analyzer, reason: d.Reason,
 						file: pos.Filename, line: targetLine(pkg, pos), pos: pos,
 					})
 				}

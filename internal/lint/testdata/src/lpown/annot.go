@@ -1,0 +1,26 @@
+package lpown
+
+// A typo'd class is a finding, never silence.
+//
+//dpml:owner netwrk // want `lpown: //dpml:owner netwrk: unknown LP class \(want node, net, or shared\)`
+type typoBox struct{ n int }
+
+// Owner markers belong on structs and fields only.
+//
+//dpml:owner node // want `//dpml:owner on non-struct type numeric`
+type numeric int
+
+//dpml:owner node // want `//dpml:owner belongs on a struct type or field, not a function`
+func annotatedFunc() {}
+
+//dpml:owner node // want `//dpml:owner belongs on a struct type or field, not a value`
+var strayValue = 0
+
+// A free-floating marker attached to no declaration is misplaced.
+
+//dpml:owner node // want `misplaced //dpml:owner`
+
+// (the comment above is detached; this one keeps it that way)
+
+//dpml:minlookahead // want `misplaced //dpml:minlookahead on a type; annotate the field or function instead`
+type notADuration struct{ v int }

@@ -1,0 +1,58 @@
+package lpown
+
+import "dpml/internal/sim"
+
+// prof carries the lookahead floor the shaped-delay cases draw from.
+//
+//dpml:owner shared
+type prof struct {
+	// wire is the modelled link latency; the coordinator lookahead is
+	// derived from it.
+	//
+	//dpml:minlookahead
+	wire sim.Duration
+}
+
+// baseLat is a package-level floor.
+//
+//dpml:minlookahead
+const baseLat sim.Duration = 4
+
+// floor returns an annotated quantity.
+//
+//dpml:minlookahead
+func floor() sim.Duration { return 5 }
+
+// Provable shapes: an annotated field, a sum containing one, a local
+// built from one, an annotated constant, an annotated call.
+func delayField(k *sim.Kernel, p *prof, lp int) { k.AfterOn(lp, p.wire, func() {}) }
+func delaySum(k *sim.Kernel, p *prof, lp int)   { k.AfterOn(lp, p.wire+5, func() {}) }
+func delayConst(k *sim.Kernel, lp int)          { k.AfterOn(lp, baseLat, func() {}) }
+func delayCall(k *sim.Kernel, lp int)           { k.AfterOn(lp, floor(), func() {}) }
+
+func delayLocal(k *sim.Kernel, p *prof, lp int) {
+	d := p.wire
+	k.AfterOn(lp, d, func() {})
+}
+
+// A bare constant proves nothing: lookahead is a run-time quantity.
+func delayBad(k *sim.Kernel, lp int) {
+	k.AfterOn(lp, 3, func() {}) // want `lpown: cross-LP AfterOn delay cannot be proven ≥ the coordinator lookahead`
+}
+
+// A parameter delay pushes the proof obligation to every call site:
+// the shaped caller is fine, the bare-constant one is the finding —
+// reported at its argument, naming the AfterOn it feeds.
+func delayParam(k *sim.Kernel, lp int, d sim.Duration) {
+	k.AfterOn(lp, d, func() {})
+}
+
+func callsDelayParam(k *sim.Kernel, p *prof, lp int) {
+	delayParam(k, lp, p.wire)
+	delayParam(k, lp, 7) // want `delay flows into the cross-LP AfterOn at .*delays\.go:\d+ via parameter "d" of lpown\.delayParam but cannot be proven`
+}
+
+// Hops to the net LP are the outbox itself: any delay is legal.
+func delayNet(k *sim.Kernel) {
+	k.AfterOn(k.NetLP(), 1, func() {})
+}

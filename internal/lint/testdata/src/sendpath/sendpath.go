@@ -1,0 +1,79 @@
+// Package sendpath exercises the outbox-discipline analyzer: code in
+// one LP class may not schedule directly on another class's kernel
+// (Kernel.At/After/Reschedule) or wake another class's signal
+// (Signal.Fire/FireAll); crossing the shard boundary must go through
+// the AfterOn/AfterNet outboxes.
+package sendpath
+
+import "dpml/internal/sim"
+
+// netSide is coordinator-side state.
+//
+//dpml:owner net
+type netSide struct {
+	k    *sim.Kernel
+	done sim.Signal
+}
+
+// nodeSide is node-LP state.
+//
+//dpml:owner node
+type nodeSide struct {
+	k     *sim.Kernel
+	ready sim.Signal
+}
+
+// A proc body scheduling directly on the net kernel bypasses the
+// outbox.
+func badAfter(p *sim.Proc, ns *netSide) {
+	ns.k.After(5, func() {}) // want `sendpath: Kernel\.After schedules directly on a net-LP kernel from a node-LP context: sendpath\.badAfter \(runs as a proc body`
+}
+
+func badAt(p *sim.Proc, ns *netSide) {
+	ns.k.At(0, func() {}) // want `Kernel\.At schedules directly on a net-LP kernel from a node-LP context`
+}
+
+func badReschedule(p *sim.Proc, ns *netSide, e *sim.Event) {
+	ns.k.Reschedule(e, 10) // want `Kernel\.Reschedule schedules directly on a net-LP kernel`
+}
+
+// The class is traced through locals and through NetKernel().
+func badLocal(p *sim.Proc, ns *netSide) {
+	nk := ns.k
+	nk.After(5, func() {}) // want `Kernel\.After schedules directly on a net-LP kernel`
+}
+
+func badNetKernel(p *sim.Proc, c *sim.Coordinator) {
+	c.NetKernel().After(1, func() {}) // want `schedules directly on a net-LP kernel from a node-LP context`
+}
+
+// The reverse direction: a net callback poking a node kernel or waking
+// a node-owned signal, directly or through a helper.
+func badNetToNode(ns *netSide, nb *nodeSide) {
+	ns.k.AfterNet(0, func() {
+		nb.k.After(2, func() {}) // want `schedules directly on a node-LP kernel from a net-LP context: the callback at .*AfterNet`
+	})
+}
+
+func badWakeDeep(ns *netSide, nb *nodeSide) {
+	ns.k.AfterNet(0, func() { wakeNode(nb) })
+}
+
+func wakeNode(nb *nodeSide) {
+	nb.ready.Fire() // want `Signal\.Fire wakes the node-owned signal sendpath\.nodeSide\.ready from a net-LP context: the callback at .*AfterNet\) → sendpath\.wakeNode`
+}
+
+// Legal patterns: same-class scheduling and wakes, and the outbox
+// routing itself.
+func okOwnKernel(p *sim.Proc, nb *nodeSide) {
+	nb.k.After(3, func() {})
+	nb.ready.FireAll()
+}
+
+func okOutbox(p *sim.Proc, ns *netSide) {
+	p.Kernel().AfterNet(0, func() { ns.done.Fire() })
+}
+
+func okNetOwn(ns *netSide) {
+	ns.k.AfterNet(0, func() { ns.done.Fire() })
+}

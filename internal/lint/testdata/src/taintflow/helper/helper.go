@@ -1,0 +1,41 @@
+// Package helper is the taintflow fixture's out-of-tree accomplice: it
+// is deliberately unmarked, so nothing here is reported directly — the
+// violations exist only as transitive paths from the marked fixture
+// package.
+package helper
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TimeHop reads the host clock one call away from the marked package.
+func TimeHop() int64 { return time.Now().UnixNano() }
+
+// DoubleHop hides the clock behind a second hop.
+func DoubleHop() int64 { return TimeHop() + 1 }
+
+// Emit prints a map in iteration order: a determinism sink for every
+// caller.
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// EmitSorted is the clean counterpart: iteration feeds a sort, and the
+// emission happens outside the range.
+func EmitSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// Pure is a harmless helper.
+func Pure(x int) int { return x * 2 }

@@ -1,0 +1,54 @@
+// Package taintflow exercises the transitive determinism-taint
+// analyzer. This package path is marked (it stands in for
+// dpml/internal/{sim,fabric,mpi,core}); the helper subpackage is not,
+// so a forbidden call reached only through helpers must still be
+// reported here, with the full witness path. Direct stdlib calls are
+// walltime/globalrand territory and must NOT be duplicated by
+// taintflow.
+package taintflow
+
+import (
+	"math/rand"
+	"time"
+
+	"dpml/internal/lint/testdata/src/taintflow/helper"
+)
+
+// One hop: the clock hides behind helper.TimeHop.
+func viaOneHop() int64 {
+	return helper.TimeHop() // want `taintflow: taintflow\.viaOneHop transitively reaches time\.Now \(the host clock\)`
+}
+
+// Two hops: the witness path spells out the whole chain.
+func viaTwoHops() int64 {
+	return helper.DoubleHop() // want `transitively reaches time\.Now.*helper\.DoubleHop → helper\.TimeHop → time\.Now`
+}
+
+// Global randomness through a package-local hop: the path is length
+// two, so taintflow (not globalrand) owns it.
+func viaLocalHop() int {
+	return roll() // want `taintflow\.viaLocalHop transitively reaches rand\.Intn \(process-global randomness\)`
+}
+
+// roll calls the global generator directly; that is globalrand's
+// finding, not taintflow's (path length one is skipped).
+func roll() int { return rand.Intn(6) }
+
+// Map-ordered emission in a helper is a sink with a body, so even the
+// direct call is a taintflow finding.
+func emits(m map[string]int) {
+	helper.Emit(m) // want `taintflow\.emits transitively reaches map-order-dependent emission in helper\.Emit`
+}
+
+// Direct clock read: walltime's finding, not taintflow's.
+func direct() time.Time { return time.Now() }
+
+// A seeded source is fine — only the process-global functions are
+// sinks.
+func seeded(r *rand.Rand) int { return r.Intn(6) }
+
+// Sorted emission and pure helpers reach no sink.
+func clean(m map[string]int) int {
+	helper.EmitSorted(m)
+	return helper.Pure(len(m))
+}

@@ -12,6 +12,8 @@ import (
 // share storage with their parent, which is how partition-based
 // algorithms (reduce-scatter, DPML partitions) address slices of a
 // buffer without copies.
+//
+//dpml:owner shared
 type Vector struct {
 	dtype   Datatype
 	n       int

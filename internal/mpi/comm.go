@@ -8,6 +8,8 @@ import (
 // Comm is a communicator: an ordered group of global ranks. Comm rank i is
 // the i-th entry of the group. Communicators are immutable; build them
 // with World.NewComm or the splitting helpers.
+//
+//dpml:owner shared
 type Comm struct {
 	w     *World
 	id    int

@@ -18,6 +18,9 @@ type msgKey struct {
 // envelope is one in-flight message from the receiver's perspective: for
 // eager sends it arrives carrying the payload; for rendezvous it is the
 // RTS, and the payload moves only after the receiver matches it.
+// Matching state lives on the receiver's node LP.
+//
+//dpml:owner node
 type envelope struct {
 	key          msgKey
 	vec          *Vector

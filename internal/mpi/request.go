@@ -9,7 +9,9 @@ import (
 
 // Request tracks a non-blocking operation. Requests belong to the rank
 // that created them and may only be waited on by that rank (MPI
-// semantics).
+// semantics), so all state is owned by that rank's node LP.
+//
+//dpml:owner node
 type Request struct {
 	owner *Rank
 	kind  string // "send" or "recv", for diagnostics

@@ -136,7 +136,11 @@ func SetDefaultNetShards(n int) {
 }
 
 // World is one job: the simulated cluster fabric plus one rank per
-// process. Create it with NewWorld, then call Run exactly once.
+// process. Create it with NewWorld, then call Run exactly once. The
+// world spans every LP: its mutable registry state is mutex-guarded
+// (see mu), everything else is fixed before Run.
+//
+//dpml:owner shared
 type World struct {
 	Job   *topology.Job
 	Flows *fabric.FlowNet // the network LP's flow engine (wire traffic)
@@ -327,7 +331,10 @@ func (w *World) Run(main func(*Rank) error) error {
 	return errors.Join(errs...)
 }
 
-// Rank is one MPI process.
+// Rank is one MPI process; all of its state belongs to the node LP the
+// process is placed on.
+//
+//dpml:owner node
 type Rank struct {
 	w     *World
 	rank  int

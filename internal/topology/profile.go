@@ -24,6 +24,10 @@ type NetProfile struct {
 	// message before the payload is usable.
 	ReceiverOverhead sim.Duration
 	// WireLatency is the one-way propagation plus switching latency.
+	// It lower-bounds every cross-node interaction, so the sharded
+	// kernel's lookahead never exceeds it.
+	//
+	//dpml:minlookahead
 	WireLatency sim.Duration
 	// MsgGap is the minimum spacing between message injections at one
 	// NIC (the inverse of the NIC message rate).
